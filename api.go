@@ -1,0 +1,214 @@
+// Package sitam is a library for system-on-chip (SOC) test access
+// mechanism (TAM) optimization that accounts for interconnect
+// signal-integrity (SI) test time, reproducing "SOC Test Architecture
+// Optimization for Signal Integrity Faults on Core-External
+// Interconnects" (Xu, Zhang, Chakrabarty — DAC 2007).
+//
+// The package is a facade over the implementation packages: it
+// re-exports the SOC model and ITC'02-style benchmark parser, the
+// randomized and topology-driven SI pattern generators, the
+// two-dimensional test-set compaction pipeline, the SI test scheduler
+// (Algorithm 1), the SI-aware TAM optimizer (Algorithm 2) and the
+// TR-Architect baseline.
+//
+// A minimal end-to-end run:
+//
+//	s, _ := sitam.LoadBenchmark("p93791")
+//	patterns, _ := sitam.GeneratePatterns(s, sitam.GenConfig{N: 10000, Seed: 1})
+//	groups, _ := sitam.BuildGroups(s, patterns, sitam.GroupingOptions{Parts: 4, Seed: 1})
+//	res, _ := sitam.Optimize(s, 32, groups.Groups, sitam.DefaultModel())
+//	fmt.Println(res.Breakdown.TimeSOC)
+package sitam
+
+import (
+	"io"
+
+	"sitam/internal/core"
+	"sitam/internal/experiments"
+	"sitam/internal/sifault"
+	"sitam/internal/sischedule"
+	"sitam/internal/soc"
+	"sitam/internal/tam"
+	"sitam/internal/topology"
+	"sitam/internal/trarchitect"
+	"sitam/internal/wrapper"
+)
+
+// SOC model and benchmark I/O.
+type (
+	// SOC is a core-based system-on-chip design.
+	SOC = soc.SOC
+	// Core is one wrapped embedded core.
+	Core = soc.Core
+)
+
+// ParseSOC reads an ITC'02-style .soc description.
+func ParseSOC(r io.Reader) (*SOC, error) { return soc.Parse(r) }
+
+// WriteSOC serializes an SOC in the format ParseSOC reads.
+func WriteSOC(w io.Writer, s *SOC) error { return soc.Write(w, s) }
+
+// LoadBenchmark loads an embedded benchmark SOC ("p34392" or "p93791").
+func LoadBenchmark(name string) (*SOC, error) { return soc.LoadBenchmark(name) }
+
+// Benchmarks lists the embedded benchmark names.
+func Benchmarks() []string { return soc.Benchmarks() }
+
+// SI test patterns.
+type (
+	// Pattern is a sparse SI test pattern over the SOC's wrapper
+	// output cells plus a shared-bus postfix.
+	Pattern = sifault.Pattern
+	// GenConfig parameterizes the randomized pattern generator used by
+	// the paper's experiments.
+	GenConfig = sifault.GenConfig
+	// PatternSpace maps global pattern positions to cores.
+	PatternSpace = sifault.Space
+)
+
+// GeneratePatterns produces random SI test patterns per the paper's
+// experimental protocol (one victim, 2-6 aggressors, shared-bus usage).
+func GeneratePatterns(s *SOC, cfg GenConfig) ([]*Pattern, error) {
+	return sifault.Generate(s, cfg)
+}
+
+// NewPatternSpace builds the WOC position space of an SOC.
+func NewPatternSpace(s *SOC) *PatternSpace { return sifault.NewSpace(s) }
+
+// Interconnect topologies and deterministic fault-model test sets.
+type (
+	// Topology is a core-external interconnect netlist.
+	Topology = topology.Topology
+	// Net is one interconnect of a Topology.
+	Net = topology.Net
+	// TopologyConfig parameterizes RandomTopology.
+	TopologyConfig = topology.RandomConfig
+)
+
+// RandomTopology builds a random plausible interconnect netlist.
+func RandomTopology(s *SOC, cfg TopologyConfig, seed int64) (*Topology, error) {
+	return topology.Random(s, cfg, seed)
+}
+
+// MAPatterns synthesizes the maximal-aggressor test set of a topology.
+func MAPatterns(t *Topology, k int) ([]*Pattern, error) { return topology.MAPatterns(t, k) }
+
+// ReducedMTPatterns synthesizes the reduced multiple-transition test
+// set with locality factor k, optionally capped.
+func ReducedMTPatterns(t *Topology, k, maxPatterns int) ([]*Pattern, error) {
+	return topology.ReducedMTPatterns(t, k, maxPatterns)
+}
+
+// Compaction pipeline and SI test groups.
+type (
+	// GroupingOptions parameterizes the two-dimensional compaction.
+	GroupingOptions = core.GroupingOptions
+	// GroupingResult is the outcome of BuildGroups.
+	GroupingResult = core.GroupingResult
+	// Group is one schedulable SI test group.
+	Group = sischedule.Group
+)
+
+// BuildGroups runs the paper's two-dimensional SI test-set compaction:
+// hypergraph partitioning of the cores plus greedy clique-cover
+// compaction within each resulting group.
+func BuildGroups(s *SOC, patterns []*Pattern, opts GroupingOptions) (*GroupingResult, error) {
+	return core.BuildGroups(s, patterns, opts)
+}
+
+// Scheduling and cost model.
+type (
+	// Model holds the per-pattern SI shift cost constants.
+	Model = sischedule.Model
+	// Schedule is a scheduled set of SI test groups.
+	Schedule = sischedule.Schedule
+	// Architecture is a TestRail TAM architecture.
+	Architecture = tam.Architecture
+	// Rail is one TestRail.
+	Rail = tam.Rail
+)
+
+// DefaultModel returns the SI cost constants the experiments use.
+func DefaultModel() Model { return sischedule.DefaultModel() }
+
+// ScheduleSI schedules SI test groups on an architecture (Algorithm 1)
+// and returns the schedule with T_soc_si.
+func ScheduleSI(a *Architecture, groups []*Group, m Model) (*Schedule, error) {
+	return sischedule.ScheduleSITest(a, groups, m)
+}
+
+// ScheduleSIPower is ScheduleSI under a test power ceiling: the summed
+// boundary-cell activity of concurrently running groups never exceeds
+// budget (<= 0 means unlimited).
+func ScheduleSIPower(a *Architecture, groups []*Group, m Model, budget int64) (*Schedule, error) {
+	return sischedule.ScheduleSITestPower(a, groups, m, budget)
+}
+
+// ExactScheduleSI returns the provably minimal SI testing time for at
+// most sischedule.MaxExactGroups groups, via branch and bound. Used to
+// audit Algorithm 1's schedules.
+func ExactScheduleSI(a *Architecture, groups []*Group, m Model) (int64, error) {
+	t, _, err := sischedule.ExactSchedule(a, groups, m)
+	return t, err
+}
+
+// Optimization.
+type (
+	// Result is an optimized architecture with its time breakdown.
+	Result = core.Result
+	// Breakdown reports T_in, T_si and their sum.
+	Breakdown = core.Breakdown
+)
+
+// Optimize runs the paper's SI-aware TAM_Optimization (Algorithm 2).
+func Optimize(s *SOC, wmax int, groups []*Group, m Model) (*Result, error) {
+	return core.TAMOptimization(s, wmax, groups, m)
+}
+
+// OptimizeBaseline runs the SI-oblivious TR-Architect baseline and then
+// schedules the SI groups on the resulting architecture (the paper's
+// T_[8] protocol).
+func OptimizeBaseline(s *SOC, wmax int, groups []*Group, m Model) (*Result, error) {
+	return trarchitect.OptimizeThenScheduleSI(s, wmax, groups, m)
+}
+
+// OptimizeILS runs the SI-aware optimization followed by the given
+// number of iterated-local-search perturbation rounds (an extension
+// beyond the paper's greedy fixed point; 0 kicks equals Optimize).
+func OptimizeILS(s *SOC, wmax int, groups []*Group, m Model, kicks int, seed int64) (*Result, error) {
+	eng, err := core.NewEngine(s, wmax, &core.SIEvaluator{Groups: groups, Model: m})
+	if err != nil {
+		return nil, err
+	}
+	arch, _, err := eng.OptimizeILS(kicks, seed)
+	if err != nil {
+		return nil, err
+	}
+	bd, sched, err := core.EvaluateBreakdown(arch, groups, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Architecture: arch, Breakdown: bd, Schedule: sched}, nil
+}
+
+// InTestLowerBound returns the Goel-Marinissen lower bound on the
+// achievable SOC internal test time at the given total TAM width.
+func InTestLowerBound(s *SOC, wmax int) (int64, error) {
+	return trarchitect.LowerBound(s, wmax)
+}
+
+// InTestTime returns the InTest application time of one core at a TAM
+// width, using Best Fit Decreasing wrapper design (the Combine
+// procedure).
+func InTestTime(c *Core, width int) (int64, error) { return wrapper.InTestTime(c, width) }
+
+// Experiments.
+type (
+	// TableConfig parameterizes a Tables 2/3-style sweep.
+	TableConfig = experiments.TableConfig
+	// Table is the outcome of RunTable.
+	Table = experiments.Table
+)
+
+// RunTable regenerates one of the paper's evaluation tables for s.
+func RunTable(s *SOC, cfg TableConfig) (*Table, error) { return experiments.RunTable(s, cfg) }

@@ -1,0 +1,101 @@
+// Command sicompact runs the paper's two-dimensional SI test-set
+// compaction on a pattern file produced by sigen: hypergraph
+// partitioning of the cores into -g groups followed by greedy
+// clique-cover compaction within each group. It reports the compaction
+// statistics and optionally writes the compacted patterns.
+//
+//	sigen -soc p93791 -nr 100000 -o raw.pat
+//	sicompact -soc p93791 -g 4 raw.pat -o compact.pat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sitam/internal/core"
+	"sitam/internal/sifault"
+	"sitam/internal/soc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sicompact: ")
+	var (
+		socName = flag.String("soc", "p93791", "embedded benchmark SOC name")
+		file    = flag.String("file", "", ".soc file to load instead of a benchmark")
+		parts   = flag.Int("g", 1, "number of SI test groups (1 = vertical compaction only)")
+		seed    = flag.Int64("seed", 1, "partitioner seed")
+		out     = flag.String("o", "", "write compacted patterns to this file")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: sicompact [flags] <pattern file>")
+	}
+
+	s, err := loadSOC(*file, *socName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp := sifault.NewSpace(s)
+
+	in, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	total, bus, patterns, err := sifault.ReadPatterns(in)
+	in.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if total != sp.Total() || bus != sp.BusWidth() {
+		log.Fatalf("pattern space (%d,%d) does not match SOC %s (%d,%d)",
+			total, bus, s.Name, sp.Total(), sp.BusWidth())
+	}
+
+	gr, err := core.BuildGroups(s, patterns, core.GroupingOptions{Parts: *parts, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d patterns -> %d compacted (%.2fx) in %d groups, %d residual\n",
+		s.Name, gr.Stats.Original, gr.TotalCompacted(), gr.Stats.Ratio(),
+		len(gr.Groups), gr.CutPatterns)
+	for gi, g := range gr.Groups {
+		length := 0
+		for _, id := range g.Cores {
+			length += s.CoreByID(id).WOC()
+		}
+		fmt.Printf("  %-4s: %6d patterns, %2d cores, pattern length %d WOCs\n",
+			g.Name, g.Patterns, len(g.Cores), length)
+		_ = gi
+	}
+
+	if *out != "" {
+		var all []*sifault.Pattern
+		for _, ps := range gr.GroupPatterns {
+			all = append(all, ps...)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := sifault.WritePatterns(f, sp, all); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d compacted patterns to %s", len(all), *out)
+	}
+}
+
+func loadSOC(file, name string) (*soc.SOC, error) {
+	if file == "" {
+		return soc.LoadBenchmark(name)
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return soc.Parse(f)
+}

@@ -1,0 +1,117 @@
+// Command sigen generates interconnect SI test patterns for an SOC and
+// writes them in the sitam pattern text format (stdout by default).
+//
+// Two generation modes are available:
+//
+//	sigen -soc p93791 -nr 10000 -seed 1            # the paper's random protocol
+//	sigen -soc p93791 -model ma -fanout 2 -k 3      # deterministic, topology-driven
+//
+// The random mode follows Section 5 of the paper (one victim, 2-6
+// aggressors, at most two outside the victim core, 50% shared-bus
+// usage). The topology mode builds a random netlist and synthesizes the
+// maximal-aggressor ("ma") or reduced multiple-transition ("mt") test
+// set for it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sitam/internal/sifault"
+	"sitam/internal/soc"
+	"sitam/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sigen: ")
+	var (
+		socName = flag.String("soc", "p93791", "embedded benchmark SOC name")
+		file    = flag.String("file", "", ".soc file to load instead of a benchmark")
+		out     = flag.String("o", "", "output file (default stdout)")
+		seed    = flag.Int64("seed", 1, "random seed")
+
+		nr      = flag.Int("nr", 10000, "random mode: number of patterns")
+		busProb = flag.Float64("bus", 0.5, "random mode: shared-bus usage probability")
+		quiesce = flag.Float64("quiesce", 1.0, "random mode: victim-core background quiescing probability")
+
+		model  = flag.String("model", "", "topology mode: fault model, \"ma\" or \"mt\"")
+		fanout = flag.Int("fanout", 2, "topology mode: connections per core")
+		width  = flag.Int("width", 32, "topology mode: bits per connection")
+		k      = flag.Int("k", 3, "topology mode: coupling locality factor")
+		capN   = flag.Int("cap", 0, "topology mode: cap on mt pattern count (0 = none)")
+		stats  = flag.Bool("stats", false, "print pattern-set statistics to stderr")
+	)
+	flag.Parse()
+
+	s, err := loadSOC(*file, *socName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var patterns []*sifault.Pattern
+	switch *model {
+	case "":
+		patterns, err = sifault.Generate(s, sifault.GenConfig{
+			N: *nr, Seed: *seed, BusProb: orNeg(*busProb), QuiesceProb: orNeg(*quiesce),
+		})
+	case "ma", "mt":
+		var topo *topology.Topology
+		topo, err = topology.Random(s, topology.RandomConfig{
+			FanOut: *fanout, Width: *width, BusFraction: *busProb,
+		}, *seed)
+		if err != nil {
+			break
+		}
+		if *model == "ma" {
+			patterns, err = topology.MAPatterns(topo, *k)
+		} else {
+			patterns, err = topology.ReducedMTPatterns(topo, *k, *capN)
+		}
+	default:
+		err = fmt.Errorf("unknown -model %q (want \"ma\" or \"mt\")", *model)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := sifault.WritePatterns(w, sifault.NewSpace(s), patterns); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d patterns for %s", len(patterns), s.Name)
+	if *stats {
+		fmt.Fprint(os.Stderr, sifault.Analyze(patterns).Format())
+	}
+}
+
+// orNeg maps an explicit 0 flag value to the generator's "disabled"
+// sentinel (-1), since the zero value selects the paper default.
+func orNeg(v float64) float64 {
+	if v == 0 {
+		return -1
+	}
+	return v
+}
+
+func loadSOC(file, name string) (*soc.SOC, error) {
+	if file == "" {
+		return soc.LoadBenchmark(name)
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return soc.Parse(f)
+}

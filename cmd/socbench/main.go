@@ -1,0 +1,88 @@
+// Command socbench regenerates the paper's evaluation artifacts: Table 2
+// (SOC p34392) and Table 3 (SOC p93791), comparing the SI-oblivious
+// TR-Architect baseline T_[8] against the SI-aware TAM_Optimization
+// results T_g_i for several SI test grouping counts, plus the Section 2
+// motivation estimate.
+//
+// Usage:
+//
+//	socbench                      # both tables, full paper sweep
+//	socbench -soc p34392          # one table
+//	socbench -quick               # reduced sweep for a fast smoke run
+//	socbench -markdown            # emit GitHub-flavored markdown
+//	socbench -ablation            # run the ablation sweeps instead
+//
+// The full sweep takes several minutes on a laptop-class machine; use
+// -v to watch progress.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"sitam/internal/experiments"
+	"sitam/internal/soc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("socbench: ")
+	var (
+		socName  = flag.String("soc", "", "run a single benchmark SOC (default: all)")
+		quick    = flag.Bool("quick", false, "reduced sweep (fewer widths, smaller Nr)")
+		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		verbose  = flag.Bool("v", false, "log per-cell progress to stderr")
+		seed     = flag.Int64("seed", 1, "random seed")
+		ablation = flag.Bool("ablation", false, "run ablation sweeps instead of the main tables")
+		coverage = flag.Bool("coverage", false, "run the SI fault coverage experiment instead of the main tables")
+	)
+	flag.Parse()
+
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+
+	if *ablation {
+		if err := experiments.RunAblations(os.Stdout, *seed, *quick); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *coverage {
+		if err := experiments.RunCoverage(os.Stdout, *seed, *quick); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Println(experiments.DefaultMotivation().Format())
+
+	names := []string{"p34392", "p93791"}
+	if *socName != "" {
+		names = []string{*socName}
+	}
+	for _, name := range names {
+		s, err := soc.LoadBenchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := experiments.TableConfig{Seed: *seed, Progress: progress}
+		if *quick {
+			cfg.Widths = []int{16, 32, 64}
+			cfg.Nr = []int{10000}
+		}
+		tbl, err := experiments.RunTable(s, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *markdown {
+			fmt.Println(tbl.Markdown())
+		} else {
+			fmt.Println(tbl.Format())
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command socinfo prints design-exploration data for an SOC: per-core
+// wrapper test times across TAM widths, total test data volume, the
+// theoretical InTest lower bound per width, and how close TR-Architect
+// gets to it. It is the first stop when sizing a TAM budget.
+//
+//	socinfo -soc p34392
+//	socinfo -file mydesign.soc -w 8,16,32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"sitam/internal/soc"
+	"sitam/internal/trarchitect"
+	"sitam/internal/wrapper"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("socinfo: ")
+	var (
+		socName = flag.String("soc", "p34392", "embedded benchmark SOC name")
+		file    = flag.String("file", "", ".soc file to load instead of a benchmark")
+		widths  = flag.String("w", "1,8,16,32,64", "comma-separated TAM widths to tabulate")
+	)
+	flag.Parse()
+
+	s, err := loadSOC(*file, *socName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ws, err := parseWidths(*widths)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(s.Summary())
+	fmt.Println()
+
+	// Per-core wrapper test times.
+	fmt.Printf("%-6s %-10s %6s %6s %6s %9s", "core", "name", "in", "out", "scan", "patterns")
+	for _, w := range ws {
+		fmt.Printf(" %12s", fmt.Sprintf("T(w=%d)", w))
+	}
+	fmt.Println()
+	for _, c := range s.Cores() {
+		name := c.Name
+		if name == "" {
+			name = "-"
+		}
+		fmt.Printf("%-6d %-10s %6d %6d %6d %9d", c.ID, name, c.WIC(), c.WOC(), c.ScanBits(), c.Patterns)
+		for _, w := range ws {
+			t, err := wrapper.InTestTime(c, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %12d", t)
+		}
+		fmt.Println()
+	}
+
+	// SOC-level bounds and achieved times.
+	fmt.Printf("\n%-8s %14s %14s %9s\n", "Wmax", "lower bound", "TR-Architect", "gap")
+	for _, w := range ws {
+		if w < 1 {
+			continue
+		}
+		lb, err := trarchitect.LowerBound(s, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		arch, _, err := trarchitect.Optimize(s, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := arch.InTestTime()
+		fmt.Printf("%-8d %14d %14d %8.1f%%\n", w, lb, got, 100*float64(got-lb)/float64(lb))
+	}
+}
+
+func parseWidths(list string) ([]int, error) {
+	var ws []int
+	for _, f := range strings.Split(list, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad width %q", f)
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+func loadSOC(file, name string) (*soc.SOC, error) {
+	if file == "" {
+		return soc.LoadBenchmark(name)
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return soc.Parse(f)
+}

@@ -1,0 +1,132 @@
+// Command tamopt designs a TestRail test access architecture for an SOC
+// and prints the resulting rails, test schedule and time breakdown.
+//
+// Usage:
+//
+//	tamopt -soc p93791 -w 32 -nr 10000 -g 4 [-seed 1] [-baseline] [-file design.soc]
+//
+// With -baseline the architecture is optimized for core-internal test
+// only (TR-Architect); otherwise the SI-aware TAM_Optimization algorithm
+// of the paper is used. Either way the SI test groups produced by the
+// two-dimensional compaction pipeline are scheduled on the final
+// architecture and the combined time is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sitam/internal/core"
+	"sitam/internal/report"
+	"sitam/internal/sifault"
+	"sitam/internal/sischedule"
+	"sitam/internal/soc"
+	"sitam/internal/tam"
+	"sitam/internal/trarchitect"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tamopt: ")
+	var (
+		socName  = flag.String("soc", "p93791", "embedded benchmark SOC name")
+		file     = flag.String("file", "", ".soc file to load instead of an embedded benchmark")
+		wmax     = flag.Int("w", 32, "total TAM width W_max")
+		nr       = flag.Int("nr", 10000, "initial SI pattern count N_r")
+		parts    = flag.Int("g", 4, "SI test grouping count g")
+		seed     = flag.Int64("seed", 1, "random seed for pattern generation and partitioning")
+		baseline = flag.Bool("baseline", false, "optimize for InTest only (TR-Architect baseline)")
+		gantt    = flag.Bool("gantt", false, "render the SI schedule as an ASCII Gantt chart")
+		jsonOut  = flag.String("json", "", "also write the result as JSON to this file (\"-\" for stdout)")
+		ils      = flag.Int("ils", 0, "iterated-local-search kicks after the greedy optimization (0 = paper's algorithm)")
+	)
+	flag.Parse()
+
+	s, err := loadSOC(*file, *socName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(s.Summary())
+
+	patterns, err := sifault.Generate(s, sifault.GenConfig{N: *nr, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	grouping, err := core.BuildGroups(s, patterns, core.GroupingOptions{Parts: *parts, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SI compaction: %d patterns -> %d compacted in %d groups (ratio %.1fx, %d residual)\n",
+		grouping.Stats.Original, grouping.TotalCompacted(), len(grouping.Groups),
+		grouping.Stats.Ratio(), grouping.CutPatterns)
+	for i, g := range grouping.Groups {
+		fmt.Printf("  %-4s: %5d patterns over %d cores\n", g.Name, g.Patterns, len(g.Cores))
+		_ = i
+	}
+
+	model := sischedule.DefaultModel()
+	var res *core.Result
+	switch {
+	case *baseline:
+		res, err = trarchitect.OptimizeThenScheduleSI(s, *wmax, grouping.Groups, model)
+	case *ils > 0:
+		var eng *core.Engine
+		eng, err = core.NewEngine(s, *wmax, &core.SIEvaluator{Groups: grouping.Groups, Model: model})
+		if err != nil {
+			break
+		}
+		var arch *tam.Architecture
+		arch, _, err = eng.OptimizeILS(*ils, *seed)
+		if err != nil {
+			break
+		}
+		var bd core.Breakdown
+		var sched *sischedule.Schedule
+		bd, sched, err = core.EvaluateBreakdown(arch, grouping.Groups, model)
+		res = &core.Result{Architecture: arch, Breakdown: bd, Schedule: sched}
+	default:
+		res, err = core.TAMOptimization(s, *wmax, grouping.Groups, model)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Print(res.Architecture)
+	fmt.Print(res.Schedule)
+	if *gantt {
+		fmt.Print(res.Architecture.InTestGantt(72))
+		fmt.Print(res.Schedule.Gantt(len(res.Architecture.Rails), 72))
+	}
+	fmt.Printf("T_in=%d cc  T_si=%d cc  T_soc=%d cc\n",
+		res.Breakdown.TimeIn, res.Breakdown.TimeSI, res.Breakdown.TimeSOC)
+
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := report.FromResult(res).Write(w); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func loadSOC(file, name string) (*soc.SOC, error) {
+	if file == "" {
+		return soc.LoadBenchmark(name)
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return soc.Parse(f)
+}

@@ -1,0 +1,136 @@
+package sitam
+
+// End-to-end tests of the command-line tools: each binary is compiled
+// once into a temp dir and driven with small workloads, checking exit
+// status and the shape of its output.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var buildOnce sync.Once
+var buildDir string
+var buildErr error
+
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "sitam-bin")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", buildDir+string(os.PathSeparator), "./cmd/...")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = err
+			t.Logf("go build output:\n%s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building binaries: %v", buildErr)
+	}
+	return buildDir
+}
+
+func runTool(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binaries(t), name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestE2ESocinfo(t *testing.T) {
+	out := runTool(t, "socinfo", "-soc", "d695", "-w", "1,8,16")
+	for _, want := range []string{"d695", "c6288", "lower bound", "TR-Architect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("socinfo output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE2ETamopt(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "out.json")
+	out := runTool(t, "tamopt", "-soc", "d695", "-w", "12", "-nr", "1500", "-g", "2",
+		"-gantt", "-json", jsonPath)
+	for _, want := range []string{"architecture:", "SI schedule", "T_soc", "Gantt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tamopt output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"schema\": 1") {
+		t.Errorf("json output malformed:\n%s", data)
+	}
+	// Baseline and ILS modes run too.
+	if out := runTool(t, "tamopt", "-soc", "d695", "-w", "12", "-nr", "1000", "-g", "2", "-baseline"); !strings.Contains(out, "T_soc") {
+		t.Errorf("baseline mode output:\n%s", out)
+	}
+	if out := runTool(t, "tamopt", "-soc", "d695", "-w", "12", "-nr", "1000", "-g", "2", "-ils", "3"); !strings.Contains(out, "T_soc") {
+		t.Errorf("ils mode output:\n%s", out)
+	}
+}
+
+func TestE2ESigenSicompactPipe(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "raw.pat")
+	comp := filepath.Join(dir, "comp.pat")
+	out := runTool(t, "sigen", "-soc", "d695", "-nr", "800", "-o", raw, "-stats")
+	if !strings.Contains(out, "wrote 800 patterns") || !strings.Contains(out, "care bits") {
+		t.Errorf("sigen output:\n%s", out)
+	}
+	out = runTool(t, "sicompact", "-soc", "d695", "-g", "2", "-o", comp, raw)
+	if !strings.Contains(out, "compacted") || !strings.Contains(out, "groups") {
+		t.Errorf("sicompact output:\n%s", out)
+	}
+	if _, err := os.Stat(comp); err != nil {
+		t.Fatal(err)
+	}
+	// Topology modes of sigen.
+	out = runTool(t, "sigen", "-soc", "d695", "-model", "ma", "-fanout", "1", "-width", "8", "-k", "2")
+	if !strings.Contains(out, "space ") {
+		t.Errorf("sigen ma output:\n%s", out)
+	}
+	out = runTool(t, "sigen", "-soc", "d695", "-model", "mt", "-fanout", "1", "-width", "6", "-k", "1", "-cap", "500")
+	if !strings.Contains(out, "wrote 500 patterns") {
+		t.Errorf("sigen mt output:\n%s", out)
+	}
+}
+
+func TestE2ESocbenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socbench quick sweep takes a few seconds")
+	}
+	out := runTool(t, "socbench", "-quick", "-soc", "p34392", "-markdown")
+	for _, want := range []string{"motivation estimate", "#### p34392", "| Wmax |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("socbench output missing %q:\n%s", want, out)
+		}
+	}
+	out = runTool(t, "socbench", "-coverage", "-quick")
+	if !strings.Contains(out, "coverage") {
+		t.Errorf("socbench coverage output:\n%s", out)
+	}
+}
+
+func TestE2EToolRejectsBadFlags(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binaries(t), "tamopt"), "-soc", "nonexistent")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("tamopt accepted unknown SOC:\n%s", out)
+	}
+	cmd = exec.Command(filepath.Join(binaries(t), "sicompact"))
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("sicompact accepted missing args:\n%s", out)
+	}
+}

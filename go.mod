@@ -1,0 +1,3 @@
+module sitam
+
+go 1.22

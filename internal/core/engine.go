@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sitam/internal/soc"
+	"sitam/internal/tam"
+	"sitam/internal/wrapper"
+)
+
+// Engine runs the TAM_Optimization procedure of Fig. 6 over a given SOC
+// with a given objective.
+type Engine struct {
+	SOC   *soc.SOC
+	Wmax  int
+	Times *wrapper.TimeTable
+	Eval  Evaluator
+}
+
+// NewEngine builds an engine, precomputing the per-core InTest time
+// table up to Wmax.
+func NewEngine(s *soc.SOC, wmax int, eval Evaluator) (*Engine, error) {
+	if wmax < 1 {
+		return nil, fmt.Errorf("core: Wmax must be >= 1, got %d", wmax)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	tt, err := wrapper.NewTimeTable(s, wmax)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{SOC: s, Wmax: wmax, Times: tt, Eval: eval}, nil
+}
+
+// Optimize runs the full procedure: start solution, bottom-up merging,
+// top-down merging, the remaining-rails sweep, and core reshuffling. It
+// returns the best architecture found and its objective value.
+func (e *Engine) Optimize() (*tam.Architecture, int64, error) {
+	a, err := e.startSolution()
+	if err != nil {
+		return nil, 0, err
+	}
+	obj, err := e.Eval.Evaluate(a)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Optimize bottom-up (Lines 17-23): repeatedly try to merge the
+	// rail with the smallest utilized time.
+	for improved := true; improved && len(a.Rails) > 1; {
+		sortByTimeUsed(a)
+		last := len(a.Rails) - 1
+		a2, obj2, err := e.mergeTAMs(a, obj, last)
+		if err != nil {
+			return nil, 0, err
+		}
+		improved = obj2 < obj
+		a, obj = a2, obj2
+	}
+
+	// Optimize top-down (Lines 24-30): try to merge the rail with the
+	// largest utilized time.
+	for improved := true; improved && len(a.Rails) > 1; {
+		sortByTimeUsed(a)
+		a2, obj2, err := e.mergeTAMs(a, obj, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		improved = obj2 < obj
+		a, obj = a2, obj2
+	}
+
+	// Sweep the remaining rails (Lines 31-36): keep trying the
+	// largest-time rail not yet known to be unmergeable.
+	skip := map[string]bool{}
+	if len(a.Rails) > 0 {
+		sortByTimeUsed(a)
+		skip[railKey(a.Rails[0])] = true // top-down loop just failed on it
+	}
+	for {
+		sortByTimeUsed(a)
+		pick := -1
+		for i, r := range a.Rails {
+			if !skip[railKey(r)] {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		a2, obj2, err := e.mergeTAMs(a, obj, pick)
+		if err != nil {
+			return nil, 0, err
+		}
+		if obj2 < obj {
+			a, obj = a2, obj2
+		} else {
+			skip[railKey(a.Rails[pick])] = true
+		}
+	}
+
+	// Core reshuffle (Line 37): move single cores off bottleneck rails.
+	a, obj, err = e.coreReshuffle(a, obj)
+	if err != nil {
+		return nil, 0, err
+	}
+	return a, obj, nil
+}
+
+// startSolution implements Lines 1-16 of Fig. 6: one single-wire rail
+// per core, then merge down to Wmax rails or distribute leftover wires.
+func (e *Engine) startSolution() (*tam.Architecture, error) {
+	a := tam.New(e.SOC, e.Times)
+	for _, c := range e.SOC.Cores() {
+		a.AddRail([]int{c.ID}, 1)
+	}
+	if _, err := e.Eval.Evaluate(a); err != nil {
+		return nil, err
+	}
+
+	if e.Wmax < len(a.Rails) {
+		for len(a.Rails) > e.Wmax {
+			sortByTimeUsed(a)
+			// Merge rail Wmax (0-indexed: the first rail beyond the
+			// budget) into whichever of the first Wmax rails minimizes
+			// the objective. Start-solution rails all have width 1 and
+			// stay width 1.
+			victim := e.Wmax
+			best := -1
+			var bestObj int64
+			for i := 0; i < e.Wmax; i++ {
+				cand := a.Clone()
+				mergeInto(cand, i, victim, 1)
+				o, err := e.Eval.Evaluate(cand)
+				if err != nil {
+					return nil, err
+				}
+				if best < 0 || o < bestObj {
+					best, bestObj = i, o
+				}
+			}
+			mergeInto(a, best, victim, 1)
+			if _, err := e.Eval.Evaluate(a); err != nil {
+				return nil, err
+			}
+		}
+	} else if free := e.Wmax - len(a.Rails); free > 0 {
+		if err := e.distributeFreeWires(a, free); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// mergeInto merges rail src into rail dst with the given width and
+// removes src. Rails' cached times go stale; callers re-evaluate.
+func mergeInto(a *tam.Architecture, dst, src int, width int) {
+	d, s := a.Rails[dst], a.Rails[src]
+	d.Cores = append(d.Cores, s.Cores...)
+	sort.Ints(d.Cores)
+	d.Width = width
+	a.Rails = append(a.Rails[:src], a.Rails[src+1:]...)
+}
+
+// distributeFreeWires implements the paper's distributeFreeWires: each
+// free wire goes, one at a time, to the rail whose widening minimizes
+// the objective — the bottleneck-rail criterion generalized to the
+// combined objective. Ties keep the wire on the rail with the largest
+// utilized time.
+func (e *Engine) distributeFreeWires(a *tam.Architecture, free int) error {
+	for ; free > 0; free-- {
+		best := -1
+		var bestObj int64
+		var bestUsed int64
+		for i := range a.Rails {
+			if a.Rails[i].Width >= e.Wmax {
+				continue
+			}
+			a.Rails[i].Width++
+			o, err := e.Eval.Evaluate(a)
+			if err != nil {
+				return err
+			}
+			u := a.Rails[i].TimeUsed()
+			a.Rails[i].Width--
+			if best < 0 || o < bestObj || (o == bestObj && u > bestUsed) {
+				best, bestObj, bestUsed = i, o, u
+			}
+		}
+		if best < 0 {
+			break // every rail already at Wmax
+		}
+		a.Rails[best].Width++
+	}
+	_, err := e.Eval.Evaluate(a)
+	return err
+}
+
+// mergeTAMs implements the paper's mergeTAMs procedure: given the rail
+// at index r1, enumerate every other rail and every merged width in
+// [max(w1,wi), w1+wi], distributing leftover wires, and return the best
+// resulting architecture if it beats the current objective; otherwise
+// the original architecture.
+func (e *Engine) mergeTAMs(a *tam.Architecture, curObj int64, r1 int) (*tam.Architecture, int64, error) {
+	bestA, bestObj := a, curObj
+	w1 := a.Rails[r1].Width
+	for ri := range a.Rails {
+		if ri == r1 {
+			continue
+		}
+		wi := a.Rails[ri].Width
+		lo := w1
+		if wi > lo {
+			lo = wi
+		}
+		hi := w1 + wi
+		if hi > e.Wmax {
+			hi = e.Wmax
+		}
+		for w := lo; w <= hi; w++ {
+			cand := a.Clone()
+			dst, src := ri, r1
+			if dst > src {
+				// mergeInto removes src; keep indices valid by always
+				// merging the higher index into the lower.
+				dst, src = src, dst
+			}
+			cand.Rails[dst].Cores = append(cand.Rails[dst].Cores, cand.Rails[src].Cores...)
+			sort.Ints(cand.Rails[dst].Cores)
+			cand.Rails[dst].Width = w
+			cand.Rails = append(cand.Rails[:src], cand.Rails[src+1:]...)
+			if leftover := w1 + wi - w; leftover > 0 {
+				if err := e.distributeFreeWires(cand, leftover); err != nil {
+					return nil, 0, err
+				}
+			}
+			o, err := e.Eval.Evaluate(cand)
+			if err != nil {
+				return nil, 0, err
+			}
+			if o < bestObj {
+				bestA, bestObj = cand, o
+			}
+		}
+	}
+	if bestA != a {
+		if _, err := e.Eval.Evaluate(bestA); err != nil {
+			return nil, 0, err
+		}
+	}
+	return bestA, bestObj, nil
+}
+
+// coreReshuffle implements Line 37: iteratively move one core from a
+// bottleneck rail (a rail critical to the objective) to another rail
+// while that reduces the objective.
+func (e *Engine) coreReshuffle(a *tam.Architecture, curObj int64) (*tam.Architecture, int64, error) {
+	for {
+		sources := bottleneckRails(a)
+		type cmove struct {
+			coreID   int
+			from, to int
+		}
+		best := cmove{coreID: -1}
+		bestObj := curObj
+		var bestA *tam.Architecture
+		for _, from := range sources {
+			if len(a.Rails[from].Cores) <= 1 {
+				continue
+			}
+			for _, id := range a.Rails[from].Cores {
+				for to := range a.Rails {
+					if to == from {
+						continue
+					}
+					cand := a.Clone()
+					removeCore(cand.Rails[from], id)
+					insertCore(cand.Rails[to], id)
+					o, err := e.Eval.Evaluate(cand)
+					if err != nil {
+						return nil, 0, err
+					}
+					if o < bestObj {
+						bestObj = o
+						best = cmove{id, from, to}
+						bestA = cand
+					}
+				}
+			}
+		}
+		if best.coreID < 0 {
+			return a, curObj, nil
+		}
+		a, curObj = bestA, bestObj
+	}
+}
+
+// bottleneckRails returns the indices of rails that currently determine
+// the objective: the rail(s) with maximal InTest time plus any rail with
+// non-zero SI utilization equal to the maximum SI utilization. For the
+// InTest-only objective the second set is empty.
+func bottleneckRails(a *tam.Architecture) []int {
+	var maxIn, maxSI int64
+	for _, r := range a.Rails {
+		if r.TimeIn > maxIn {
+			maxIn = r.TimeIn
+		}
+		if r.TimeSI > maxSI {
+			maxSI = r.TimeSI
+		}
+	}
+	var out []int
+	for i, r := range a.Rails {
+		if r.TimeIn == maxIn || (maxSI > 0 && r.TimeSI == maxSI) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func removeCore(r *tam.Rail, id int) {
+	for i, c := range r.Cores {
+		if c == id {
+			r.Cores = append(r.Cores[:i], r.Cores[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: rail does not host core %d", id))
+}
+
+func insertCore(r *tam.Rail, id int) {
+	r.Cores = append(r.Cores, id)
+	sort.Ints(r.Cores)
+}
+
+// sortByTimeUsed sorts rails by non-increasing utilized time, the order
+// the paper's loops operate on. Ties break by core-ID signature for
+// determinism.
+func sortByTimeUsed(a *tam.Architecture) {
+	sort.SliceStable(a.Rails, func(i, j int) bool {
+		ti, tj := a.Rails[i].TimeUsed(), a.Rails[j].TimeUsed()
+		if ti != tj {
+			return ti > tj
+		}
+		return railKey(a.Rails[i]) < railKey(a.Rails[j])
+	})
+}
+
+// railKey returns a stable identity for a rail based on its core set.
+func railKey(r *tam.Rail) string {
+	parts := make([]string, len(r.Cores))
+	for i, id := range r.Cores {
+		parts[i] = fmt.Sprint(id)
+	}
+	return strings.Join(parts, ",")
+}

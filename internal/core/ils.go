@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sitam/internal/tam"
+)
+
+// This file extends the paper's deterministic TAM_Optimization with
+// iterated local search (ILS): after the greedy optimization converges,
+// the architecture is "kicked" by a small random perturbation (moving
+// random cores between rails and shifting a wire) and re-optimized by
+// the same merge/distribute/reshuffle machinery; the best architecture
+// seen wins. The paper stops at the greedy fixed point; ILS is the
+// natural next step its Section 6 leaves open, and the ablation bench
+// quantifies what it buys.
+
+// OptimizeILS runs Optimize and then `kicks` perturbation rounds,
+// returning the best architecture found. With kicks == 0 it is exactly
+// Optimize. Results are deterministic in seed.
+func (e *Engine) OptimizeILS(kicks int, seed int64) (*tam.Architecture, int64, error) {
+	if kicks < 0 {
+		return nil, 0, fmt.Errorf("core: negative kick count %d", kicks)
+	}
+	best, bestObj, err := e.Optimize()
+	if err != nil {
+		return nil, 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cur, curObj := best, bestObj
+	for k := 0; k < kicks; k++ {
+		cand := cur.Clone()
+		e.kick(cand, rng)
+		obj, err := e.Eval.Evaluate(cand)
+		if err != nil {
+			return nil, 0, err
+		}
+		cand, obj, err = e.localSearch(cand, obj)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Accept improvements; otherwise restart the walk from the
+		// incumbent (classic better-acceptance ILS).
+		if obj < curObj {
+			cur, curObj = cand, obj
+		}
+		if curObj < bestObj {
+			best, bestObj = cur, curObj
+		}
+	}
+	return best, bestObj, nil
+}
+
+// localSearch re-runs the polishing loops of Optimize on an existing
+// architecture: bottom-up merges, then reshuffle.
+func (e *Engine) localSearch(a *tam.Architecture, obj int64) (*tam.Architecture, int64, error) {
+	for improved := true; improved && len(a.Rails) > 1; {
+		sortByTimeUsed(a)
+		a2, obj2, err := e.mergeTAMs(a, obj, len(a.Rails)-1)
+		if err != nil {
+			return nil, 0, err
+		}
+		improved = obj2 < obj
+		a, obj = a2, obj2
+	}
+	return e.coreReshuffle(a, obj)
+}
+
+// kick applies a random perturbation in place: move 1-2 random cores to
+// random rails (possibly new single-wire rails carved out of a wide
+// one) and, when possible, shift one wire between two random rails.
+func (e *Engine) kick(a *tam.Architecture, rng *rand.Rand) {
+	moves := 1 + rng.Intn(2)
+	for m := 0; m < moves; m++ {
+		from := rng.Intn(len(a.Rails))
+		if len(a.Rails[from].Cores) <= 1 {
+			continue
+		}
+		id := a.Rails[from].Cores[rng.Intn(len(a.Rails[from].Cores))]
+		removeCore(a.Rails[from], id)
+		if len(a.Rails) > 1 && (rng.Intn(3) > 0 || a.Rails[from].Width < 2) {
+			// Move to another existing rail.
+			to := rng.Intn(len(a.Rails) - 1)
+			if to >= from {
+				to++
+			}
+			insertCore(a.Rails[to], id)
+		} else {
+			// Carve a new single-wire rail out of the source rail.
+			a.Rails[from].Width--
+			a.Rails = append(a.Rails, &tam.Rail{Cores: []int{id}, Width: 1})
+		}
+	}
+	// Shift one wire between two random rails.
+	if len(a.Rails) > 1 {
+		from := rng.Intn(len(a.Rails))
+		to := rng.Intn(len(a.Rails) - 1)
+		if to >= from {
+			to++
+		}
+		if a.Rails[from].Width > 1 {
+			a.Rails[from].Width--
+			a.Rails[to].Width++
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sitam/internal/compaction"
+	"sitam/internal/hypergraph"
+	"sitam/internal/sifault"
+	"sitam/internal/sischedule"
+	"sitam/internal/soc"
+	"sitam/internal/tam"
+)
+
+// GroupingResult is the outcome of the two-dimensional compaction
+// pipeline: the SI test groups ready for scheduling, plus the compacted
+// patterns and statistics behind them.
+type GroupingResult struct {
+	// Groups holds the schedulable SI test groups: one per partition
+	// part with at least one pattern, plus (for Parts > 1) a residual
+	// group holding the patterns whose care cores span multiple parts.
+	// The residual group, when present, is first.
+	Groups []*sischedule.Group
+
+	// GroupPatterns[i] holds the compacted patterns of Groups[i].
+	GroupPatterns [][]*sifault.Pattern
+
+	// PartOf maps core ID to partition part (0..Parts-1).
+	PartOf map[int]int
+
+	// Parts is the requested partition count g.
+	Parts int
+
+	// CutPatterns is the number of original patterns that fell into the
+	// residual group (the weight of the hypergraph cut).
+	CutPatterns int64
+
+	// Stats aggregates the vertical compaction over all groups.
+	Stats compaction.Stats
+}
+
+// TotalCompacted returns the total compacted pattern count across all
+// groups.
+func (g *GroupingResult) TotalCompacted() int {
+	n := 0
+	for _, ps := range g.GroupPatterns {
+		n += len(ps)
+	}
+	return n
+}
+
+// GroupingOptions configures BuildGroups.
+type GroupingOptions struct {
+	// Parts is the number of hypergraph partition parts (the paper's
+	// g). 1 disables horizontal compaction (pure pattern-count
+	// reduction).
+	Parts int
+
+	// Seed drives the randomized partitioner.
+	Seed int64
+
+	// Tolerance is the partitioner's balance tolerance; zero uses the
+	// partitioner default (0.10).
+	Tolerance float64
+}
+
+// BuildGroups runs the paper's two-dimensional SI test-set compaction
+// (Section 3): it partitions the cores into opts.Parts groups with a
+// hypergraph partitioner (vertices: cores weighted by WOC count;
+// hyperedges: patterns connecting their care cores, weighted by
+// multiplicity), classifies each pattern into the part containing all
+// its care cores or into the residual group, and then compacts every
+// group separately with the greedy clique-cover heuristic.
+func BuildGroups(s *soc.SOC, patterns []*sifault.Pattern, opts GroupingOptions) (*GroupingResult, error) {
+	if opts.Parts < 1 {
+		return nil, fmt.Errorf("core: Parts must be >= 1, got %d", opts.Parts)
+	}
+	sp := sifault.NewSpace(s)
+	cores := s.Cores()
+	if opts.Parts > len(cores) {
+		return nil, fmt.Errorf("core: Parts=%d exceeds core count %d", opts.Parts, len(cores))
+	}
+
+	// Vertex numbering: position order.
+	vertexOf := make(map[int]int, len(cores))
+	weights := make([]int64, len(cores))
+	for i, c := range cores {
+		vertexOf[c.ID] = i
+		weights[i] = int64(c.WOC())
+	}
+
+	// Care-core sets per pattern, deduplicated into weighted hyperedges.
+	careCores := make([][]int, len(patterns))
+	edgeWeight := make(map[string]int64)
+	edgePins := make(map[string][]int)
+	for i, p := range patterns {
+		cc := p.CareCores(sp)
+		careCores[i] = cc
+		pins := make([]int, len(cc))
+		for j, id := range cc {
+			pins[j] = vertexOf[id]
+		}
+		k := pinKey(pins)
+		edgeWeight[k] += int64(p.Weight)
+		if _, ok := edgePins[k]; !ok {
+			edgePins[k] = pins
+		}
+	}
+
+	assign := make([]int, len(cores)) // all zero for Parts == 1
+	if opts.Parts > 1 {
+		h := hypergraph.New(weights)
+		keys := make([]string, 0, len(edgePins))
+		for k := range edgePins {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // deterministic edge order
+		for _, k := range keys {
+			if err := h.AddEdge(edgePins[k], edgeWeight[k]); err != nil {
+				return nil, err
+			}
+		}
+		var err error
+		assign, _, err = hypergraph.PartitionK(h, opts.Parts, hypergraph.Options{
+			Seed:      opts.Seed,
+			Tolerance: opts.Tolerance,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &GroupingResult{Parts: opts.Parts, PartOf: make(map[int]int, len(cores))}
+	for i, c := range cores {
+		res.PartOf[c.ID] = assign[i]
+	}
+
+	// Classify patterns into parts; spanning patterns go to the
+	// residual bucket.
+	perPart := make([][]*sifault.Pattern, opts.Parts)
+	var residual []*sifault.Pattern
+	for i, p := range patterns {
+		cc := careCores[i]
+		part := assign[vertexOf[cc[0]]]
+		spans := false
+		for _, id := range cc[1:] {
+			if assign[vertexOf[id]] != part {
+				spans = true
+				break
+			}
+		}
+		if spans {
+			residual = append(residual, p)
+			res.CutPatterns += int64(p.Weight)
+		} else {
+			perPart[part] = append(perPart[part], p)
+		}
+	}
+
+	// Compact each bucket separately and build schedulable groups. The
+	// residual group comes first: it involves (nearly) every core, so
+	// scheduling it early keeps Algorithm 1's packing tight.
+	addGroup := func(name string, ps []*sifault.Pattern) {
+		if len(ps) == 0 {
+			return
+		}
+		comp, stats := compaction.Greedy(sp, ps)
+		res.Stats.Original += stats.Original
+		res.Stats.Compacted += stats.Compacted
+		res.Stats.Passes += stats.Passes
+		coreSet := make(map[int]struct{})
+		for _, p := range comp {
+			for _, id := range p.CareCores(sp) {
+				coreSet[id] = struct{}{}
+			}
+		}
+		ids := make([]int, 0, len(coreSet))
+		for id := range coreSet {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		res.Groups = append(res.Groups, &sischedule.Group{
+			Name:     name,
+			Cores:    ids,
+			Patterns: int64(len(comp)),
+		})
+		res.GroupPatterns = append(res.GroupPatterns, comp)
+	}
+	if opts.Parts > 1 {
+		addGroup("RES", residual)
+	}
+	for part := 0; part < opts.Parts; part++ {
+		addGroup(fmt.Sprintf("G%d", part+1), perPart[part])
+	}
+	return res, nil
+}
+
+func pinKey(pins []int) string {
+	b := make([]byte, 0, len(pins)*3)
+	for _, p := range pins {
+		b = append(b, byte(p), byte(p>>8), byte(p>>16))
+	}
+	return string(b)
+}
+
+// TAMOptimization is the paper's Algorithm 2: it designs a TestRail
+// architecture of total width wmax for SOC s minimizing
+// T_soc = T_in + T_si over the given SI test groups, and returns the
+// architecture with its objective breakdown and SI schedule.
+func TAMOptimization(s *soc.SOC, wmax int, groups []*sischedule.Group, m sischedule.Model) (*Result, error) {
+	eng, err := NewEngine(s, wmax, &SIEvaluator{Groups: groups, Model: m})
+	if err != nil {
+		return nil, err
+	}
+	arch, _, err := eng.Optimize()
+	if err != nil {
+		return nil, err
+	}
+	bd, sched, err := EvaluateBreakdown(arch, groups, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Architecture: arch, Breakdown: bd, Schedule: sched}, nil
+}
+
+// Result is the outcome of a TAM optimization run: the designed
+// architecture, its time breakdown and the SI schedule on it.
+type Result struct {
+	Architecture *tam.Architecture
+	Breakdown    Breakdown
+	Schedule     *sischedule.Schedule
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sitam/internal/sifault"
+)
+
+// Motivation reproduces the Section 2 back-of-envelope estimate that
+// motivates the paper: a 32-bit functional bus shared by ten cores, each
+// core on average sending data to two others, yields N = 2·10·32 = 640
+// victim interconnects; the MA fault model then needs 6N = 3840 test
+// vector pairs and the reduced MT model with locality factor k = 3
+// roughly N·2^(2k+2) = 163840 — driving serial ExTest time into the
+// millions of cycles, comparable to or above core-internal test time.
+type Motivation struct {
+	Cores          int
+	BusWidth       int
+	FanOut         int
+	Victims        int
+	MAPairs        int64
+	ReducedMTPairs int64
+	LocalityK      int
+
+	// TotalIOCells is the assumed sum of all core I/Os ("several
+	// thousand for a typical SOC").
+	TotalIOCells int64
+
+	// SerialMACycles and SerialMTCycles are the serial (1-bit) ExTest
+	// times for the two models.
+	SerialMACycles int64
+	SerialMTCycles int64
+}
+
+// DefaultMotivation returns the paper's exact Section 2 example.
+func DefaultMotivation() Motivation {
+	return NewMotivation(10, 32, 2, 3, 4000)
+}
+
+// NewMotivation computes the estimate for the given SOC shape.
+func NewMotivation(cores, busWidth, fanOut, k int, totalIOCells int64) Motivation {
+	victims := fanOut * cores * busWidth
+	m := Motivation{
+		Cores:          cores,
+		BusWidth:       busWidth,
+		FanOut:         fanOut,
+		Victims:        victims,
+		LocalityK:      k,
+		MAPairs:        sifault.MACount(victims),
+		ReducedMTPairs: sifault.ReducedMTCount(victims, k),
+		TotalIOCells:   totalIOCells,
+	}
+	m.SerialMACycles = sifault.SerialExTestCycles(m.MAPairs, totalIOCells)
+	m.SerialMTCycles = sifault.SerialExTestCycles(m.ReducedMTPairs, totalIOCells)
+	return m
+}
+
+// Format renders the estimate as a short report.
+func (m Motivation) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 2 motivation estimate\n")
+	fmt.Fprintf(&b, "  %d cores on a %d-bit bus, fan-out %d -> N = %d victim interconnects\n",
+		m.Cores, m.BusWidth, m.FanOut, m.Victims)
+	fmt.Fprintf(&b, "  MA fault model:          6N = %d test vector pairs\n", m.MAPairs)
+	fmt.Fprintf(&b, "  reduced MT (k=%d): N*2^(2k+2) = %d test vector pairs\n", m.LocalityK, m.ReducedMTPairs)
+	fmt.Fprintf(&b, "  serial ExTest over %d boundary cells:\n", m.TotalIOCells)
+	fmt.Fprintf(&b, "    MA:         %d cc (millions of cycles)\n", m.SerialMACycles)
+	fmt.Fprintf(&b, "    reduced MT: %d cc (two orders of magnitude higher)\n", m.SerialMTCycles)
+	return b.String()
+}

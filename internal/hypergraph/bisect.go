@@ -1,0 +1,373 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// bisect splits h into two sides, side 0 targeting the fraction frac of
+// the total vertex weight, using multilevel coarsening, randomized
+// greedy initial partitions and FM refinement. It returns the per-vertex
+// side (0 or 1).
+func bisect(h *Hypergraph, frac float64, opts Options, rng *rand.Rand) ([]int, error) {
+	n := h.NumVertices()
+	if n == 0 {
+		return nil, nil
+	}
+	if n == 1 {
+		return []int{0}, nil
+	}
+
+	// Coarsening phase: heavy-edge matching until small enough.
+	levels := []*Hypergraph{h}
+	var maps [][]int // maps[l][v] = coarse vertex of v at level l+1
+	for levels[len(levels)-1].NumVertices() > opts.CoarsenTo {
+		cur := levels[len(levels)-1]
+		coarse, vmap, shrunk := coarsen(cur, rng)
+		if !shrunk {
+			break
+		}
+		levels = append(levels, coarse)
+		maps = append(maps, vmap)
+	}
+
+	// Initial partition at the coarsest level: several randomized
+	// greedy growths, each refined; keep the best.
+	coarsest := levels[len(levels)-1]
+	targetLeft := frac * float64(h.TotalVertexWeight())
+	tol := opts.Tolerance
+	var bestSide []int
+	var bestCut int64 = -1
+	for try := 0; try < opts.Restarts; try++ {
+		side := growInitial(coarsest, targetLeft, rng)
+		fmRefine(coarsest, side, targetLeft, tol)
+		cut := cutOf(coarsest, side)
+		if bestCut < 0 || cut < bestCut {
+			bestCut = cut
+			bestSide = append(bestSide[:0], side...)
+		}
+	}
+	side := bestSide
+
+	// Uncoarsening: project and refine at each finer level.
+	for l := len(levels) - 2; l >= 0; l-- {
+		fine := levels[l]
+		vmap := maps[l]
+		fineSide := make([]int, fine.NumVertices())
+		for v := range fineSide {
+			fineSide[v] = side[vmap[v]]
+		}
+		fmRefine(fine, fineSide, targetLeft, tol)
+		side = fineSide
+	}
+	return side, nil
+}
+
+func cutOf(h *Hypergraph, side []int) int64 {
+	var cut int64
+	for _, e := range h.Edges {
+		if len(e.Pins) < 2 {
+			continue
+		}
+		first := side[e.Pins[0]]
+		for _, p := range e.Pins[1:] {
+			if side[p] != first {
+				cut += e.Weight
+				break
+			}
+		}
+	}
+	return cut
+}
+
+// coarsen performs one level of heavy-edge matching. Vertices are
+// visited in random order; each unmatched vertex merges with the
+// unmatched neighbor sharing the highest connectivity weight
+// (sum of w(e)/(|e|-1) over shared hyperedges). Returns the coarse
+// hypergraph, the fine-to-coarse map, and whether the graph shrank.
+func coarsen(h *Hypergraph, rng *rand.Rand) (*Hypergraph, []int, bool) {
+	n := h.NumVertices()
+	// Incidence lists.
+	inc := make([][]int, n)
+	for ei, e := range h.Edges {
+		for _, p := range e.Pins {
+			inc[p] = append(inc[p], ei)
+		}
+	}
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	conn := make(map[int]float64)
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		clear(conn)
+		for _, ei := range inc[v] {
+			e := &h.Edges[ei]
+			if len(e.Pins) < 2 {
+				continue
+			}
+			w := float64(e.Weight) / float64(len(e.Pins)-1)
+			for _, u := range e.Pins {
+				if u != v && match[u] < 0 {
+					conn[u] += w
+				}
+			}
+		}
+		best, bestW := -1, 0.0
+		for u, w := range conn {
+			if w > bestW || (w == bestW && (best < 0 || u < best)) {
+				best, bestW = u, w
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		}
+	}
+
+	// Build coarse vertex numbering.
+	vmap := make([]int, n)
+	for i := range vmap {
+		vmap[i] = -1
+	}
+	nc := 0
+	for v := 0; v < n; v++ {
+		if vmap[v] >= 0 {
+			continue
+		}
+		vmap[v] = nc
+		if m := match[v]; m >= 0 {
+			vmap[m] = nc
+		}
+		nc++
+	}
+	if nc == n {
+		return nil, nil, false
+	}
+	weights := make([]int64, nc)
+	for v := 0; v < n; v++ {
+		weights[vmap[v]] += h.VertexWeight[v]
+	}
+	coarse := New(weights)
+	// Collapse edges; merge identical pin sets by summing weights.
+	type key string
+	merged := make(map[key]int)
+	pinBuf := make([]int, 0, 16)
+	for _, e := range h.Edges {
+		pinBuf = pinBuf[:0]
+		for _, p := range e.Pins {
+			pinBuf = append(pinBuf, vmap[p])
+		}
+		sort.Ints(pinBuf)
+		uniq := pinBuf[:0]
+		for i, p := range pinBuf {
+			if i == 0 || p != uniq[len(uniq)-1] {
+				uniq = append(uniq, p)
+			}
+		}
+		if len(uniq) < 2 {
+			continue
+		}
+		kb := make([]byte, 0, len(uniq)*3)
+		for _, p := range uniq {
+			kb = append(kb, byte(p), byte(p>>8), byte(p>>16))
+		}
+		k := key(kb)
+		if ei, ok := merged[k]; ok {
+			coarse.Edges[ei].Weight += e.Weight
+		} else {
+			merged[k] = len(coarse.Edges)
+			coarse.Edges = append(coarse.Edges, Edge{Pins: append([]int(nil), uniq...), Weight: e.Weight})
+		}
+	}
+	return coarse, vmap, true
+}
+
+// growInitial builds an initial bisection by BFS-like greedy growth of
+// side 0 from a random seed vertex until it reaches the target weight.
+func growInitial(h *Hypergraph, targetLeft float64, rng *rand.Rand) []int {
+	n := h.NumVertices()
+	side := make([]int, n)
+	for i := range side {
+		side[i] = 1
+	}
+	inc := make([][]int, n)
+	for ei, e := range h.Edges {
+		for _, p := range e.Pins {
+			inc[p] = append(inc[p], ei)
+		}
+	}
+	var leftW int64
+	visited := make([]bool, n)
+	frontier := []int{rng.Intn(n)}
+	visited[frontier[0]] = true
+	for leftW < int64(targetLeft) {
+		if len(frontier) == 0 {
+			// Disconnected: seed a new random unvisited vertex.
+			rest := -1
+			start := rng.Intn(n)
+			for off := 0; off < n; off++ {
+				v := (start + off) % n
+				if !visited[v] {
+					rest = v
+					break
+				}
+			}
+			if rest < 0 {
+				break
+			}
+			visited[rest] = true
+			frontier = append(frontier, rest)
+		}
+		v := frontier[0]
+		frontier = frontier[1:]
+		side[v] = 0
+		leftW += h.VertexWeight[v]
+		for _, ei := range inc[v] {
+			for _, u := range h.Edges[ei].Pins {
+				if !visited[u] {
+					visited[u] = true
+					frontier = append(frontier, u)
+				}
+			}
+		}
+	}
+	return side
+}
+
+// fmRefine runs Fiduccia–Mattheyses passes on a bisection until a pass
+// yields no improvement. side is modified in place. The balance
+// constraint keeps side 0's weight within tolerance of targetLeft (and
+// symmetrically for side 1), while always permitting moves that improve
+// balance.
+func fmRefine(h *Hypergraph, side []int, targetLeft float64, tol float64) {
+	n := h.NumVertices()
+	if n < 2 {
+		return
+	}
+	total := h.TotalVertexWeight()
+	targetRight := float64(total) - targetLeft
+	maxLeft := int64(targetLeft * (1 + tol))
+	maxRight := int64(targetRight * (1 + tol))
+	inc := make([][]int, n)
+	for ei, e := range h.Edges {
+		for _, p := range e.Pins {
+			inc[p] = append(inc[p], ei)
+		}
+	}
+	pinCount := make([][2]int64, len(h.Edges)) // pins per side per edge
+
+	sideWeight := func() [2]int64 {
+		var w [2]int64
+		for v, s := range side {
+			w[s] += h.VertexWeight[v]
+		}
+		return w
+	}
+
+	for pass := 0; pass < 16; pass++ {
+		for ei := range pinCount {
+			pinCount[ei] = [2]int64{}
+		}
+		for ei, e := range h.Edges {
+			for _, p := range e.Pins {
+				pinCount[ei][side[p]]++
+			}
+		}
+		w := sideWeight()
+		gain := make([]int64, n)
+		locked := make([]bool, n)
+		computeGain := func(v int) int64 {
+			var g int64
+			s := side[v]
+			o := 1 - s
+			for _, ei := range inc[v] {
+				e := &h.Edges[ei]
+				if len(e.Pins) < 2 {
+					continue
+				}
+				if pinCount[ei][s] == 1 {
+					g += e.Weight // moving v uncuts e
+				}
+				if pinCount[ei][o] == 0 {
+					g -= e.Weight // moving v cuts e
+				}
+			}
+			return g
+		}
+		for v := 0; v < n; v++ {
+			gain[v] = computeGain(v)
+		}
+
+		type move struct {
+			v    int
+			gain int64
+		}
+		var seq []move
+		var cum, bestCum int64
+		bestIdx := -1
+		for step := 0; step < n; step++ {
+			best := -1
+			for v := 0; v < n; v++ {
+				if locked[v] {
+					continue
+				}
+				// Balance feasibility of moving v to the other side.
+				to := 1 - side[v]
+				nw := w[to] + h.VertexWeight[v]
+				limit := maxRight
+				if to == 0 {
+					limit = maxLeft
+				}
+				if nw > limit && w[to] >= limit {
+					continue // would worsen an already-full side
+				}
+				if best < 0 || gain[v] > gain[best] || (gain[v] == gain[best] && v < best) {
+					best = v
+				}
+			}
+			if best < 0 {
+				break
+			}
+			v := best
+			s := side[v]
+			o := 1 - s
+			locked[v] = true
+			cum += gain[v]
+			seq = append(seq, move{v, gain[v]})
+			// Apply tentatively.
+			side[v] = o
+			w[s] -= h.VertexWeight[v]
+			w[o] += h.VertexWeight[v]
+			for _, ei := range inc[v] {
+				pinCount[ei][s]--
+				pinCount[ei][o]++
+			}
+			// Recompute gains of neighbors (small graphs: recompute all
+			// unlocked pins of v's edges).
+			for _, ei := range inc[v] {
+				for _, u := range h.Edges[ei].Pins {
+					if !locked[u] {
+						gain[u] = computeGain(u)
+					}
+				}
+			}
+			if cum > bestCum {
+				bestCum = cum
+				bestIdx = len(seq) - 1
+			}
+		}
+		// Roll back moves after the best prefix.
+		for i := len(seq) - 1; i > bestIdx; i-- {
+			v := seq[i].v
+			side[v] = 1 - side[v]
+		}
+		if bestCum <= 0 {
+			return
+		}
+	}
+}

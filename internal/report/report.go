@@ -1,0 +1,158 @@
+// Package report serializes optimization results into a stable JSON
+// document for downstream tooling (dashboards, regression tracking,
+// diffing runs). The schema is versioned and intentionally flat: rails
+// with their core lists and times, scheduled SI slots with begin/end
+// and rail sets, and the T_in/T_si/T_soc breakdown.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sitam/internal/core"
+	"sitam/internal/tam"
+)
+
+// SchemaVersion identifies the JSON layout; bump on breaking changes.
+const SchemaVersion = 1
+
+// Document is the top-level JSON object.
+type Document struct {
+	Schema    int     `json:"schema"`
+	SOC       string  `json:"soc"`
+	TotalWire int     `json:"totalWidth"`
+	TimeIn    int64   `json:"timeIn"`
+	TimeSI    int64   `json:"timeSI"`
+	TimeSOC   int64   `json:"timeSOC"`
+	Rails     []Rail  `json:"rails"`
+	Schedule  []Slot  `json:"siSchedule"`
+	RailSI    []int64 `json:"railSIBusy,omitempty"`
+}
+
+// Rail is one TestRail.
+type Rail struct {
+	Index  int   `json:"index"`
+	Width  int   `json:"width"`
+	Cores  []int `json:"cores"`
+	TimeIn int64 `json:"timeIn"`
+	TimeSI int64 `json:"timeSI"`
+}
+
+// Slot is one scheduled SI test group.
+type Slot struct {
+	Group      string `json:"group"`
+	Patterns   int64  `json:"patterns"`
+	Cores      []int  `json:"cores"`
+	Rails      []int  `json:"rails"`
+	Bottleneck int    `json:"bottleneckRail"`
+	Begin      int64  `json:"begin"`
+	End        int64  `json:"end"`
+}
+
+// FromResult builds a Document from an optimization result.
+func FromResult(res *core.Result) *Document {
+	doc := &Document{
+		Schema:    SchemaVersion,
+		SOC:       res.Architecture.SOC.Name,
+		TotalWire: res.Architecture.TotalWidth(),
+		TimeIn:    res.Breakdown.TimeIn,
+		TimeSI:    res.Breakdown.TimeSI,
+		TimeSOC:   res.Breakdown.TimeSOC,
+	}
+	doc.Rails = railsOf(res.Architecture)
+	if res.Schedule != nil {
+		doc.RailSI = append([]int64(nil), res.Schedule.RailSI...)
+		for _, sl := range res.Schedule.Slots {
+			doc.Schedule = append(doc.Schedule, Slot{
+				Group:      sl.Group.Name,
+				Patterns:   sl.Group.Patterns,
+				Cores:      append([]int(nil), sl.Group.Cores...),
+				Rails:      append([]int(nil), sl.Rails...),
+				Bottleneck: sl.Bottleneck,
+				Begin:      sl.Begin,
+				End:        sl.End,
+			})
+		}
+	}
+	return doc
+}
+
+func railsOf(a *tam.Architecture) []Rail {
+	rails := make([]Rail, len(a.Rails))
+	for i, r := range a.Rails {
+		rails[i] = Rail{
+			Index:  i,
+			Width:  r.Width,
+			Cores:  append([]int(nil), r.Cores...),
+			TimeIn: r.TimeIn,
+			TimeSI: r.TimeSI,
+		}
+	}
+	return rails
+}
+
+// Write encodes the document as indented JSON.
+func (d *Document) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Read decodes and validates a document.
+func Read(r io.Reader) (*Document, error) {
+	var d Document
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Validate checks internal consistency of a document.
+func (d *Document) Validate() error {
+	if d.Schema != SchemaVersion {
+		return fmt.Errorf("report: schema %d, want %d", d.Schema, SchemaVersion)
+	}
+	if d.TimeSOC != d.TimeIn+d.TimeSI {
+		return fmt.Errorf("report: timeSOC %d != timeIn %d + timeSI %d", d.TimeSOC, d.TimeIn, d.TimeSI)
+	}
+	width := 0
+	for i, r := range d.Rails {
+		if r.Index != i {
+			return fmt.Errorf("report: rail %d has index %d", i, r.Index)
+		}
+		if r.Width < 1 {
+			return fmt.Errorf("report: rail %d has width %d", i, r.Width)
+		}
+		width += r.Width
+	}
+	if width != d.TotalWire {
+		return fmt.Errorf("report: rail widths sum to %d, totalWidth says %d", width, d.TotalWire)
+	}
+	for _, s := range d.Schedule {
+		if s.End < s.Begin {
+			return fmt.Errorf("report: slot %q ends before it begins", s.Group)
+		}
+		for _, ri := range s.Rails {
+			if ri < 0 || ri >= len(d.Rails) {
+				return fmt.Errorf("report: slot %q references rail %d of %d", s.Group, ri, len(d.Rails))
+			}
+		}
+	}
+	return nil
+}
+
+// ScheduleOf rebuilds a comparable schedule summary (begin/end per
+// group) for diffing two documents.
+func (d *Document) ScheduleOf() map[string][2]int64 {
+	out := make(map[string][2]int64, len(d.Schedule))
+	for _, s := range d.Schedule {
+		out[s.Group] = [2]int64{s.Begin, s.End}
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+package sifault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sitam/internal/soc"
+)
+
+// GenConfig parameterizes the random SI pattern generator of Section 5 of
+// the paper: each pattern has one victim and Na random aggressors with
+// 2 <= Na <= 6, at most two aggressors outside the victim core's
+// boundary, and occupies the shared bus with probability BusProb (with
+// 1..Na occupied lines).
+type GenConfig struct {
+	// N is the number of patterns to generate (the paper's N_r).
+	N int
+
+	// Seed drives all randomness; equal seeds give equal pattern sets.
+	Seed int64
+
+	// MinAggressors and MaxAggressors bound Na. Zero values default to
+	// the paper's 2 and 6.
+	MinAggressors int
+	MaxAggressors int
+
+	// MaxExternal is the maximum number of aggressors outside the
+	// victim core's boundary. A negative value means no limit; zero
+	// defaults to the paper's 2.
+	MaxExternal int
+
+	// BusProb is the probability that a pattern uses the shared bus.
+	// A negative value means 0; the zero value defaults to the paper's
+	// 0.5.
+	BusProb float64
+
+	// QuiesceProb is the probability that each background (non-victim,
+	// non-aggressor) WOC of the victim's core is held at a steady
+	// random 0/1 during the pattern, rather than left as a don't-care.
+	// Holding the victim core's other outputs quiescent prevents
+	// uncontrolled self-noise during the at-speed transition, and is
+	// what Table 1's steady 0/1 entries depict. A negative value means
+	// 0 (fully sparse patterns); the zero value defaults to 1.0.
+	QuiesceProb float64
+
+	// ExternalLocality bounds how far (in core-list order, a proxy for
+	// layout adjacency) an external aggressor's core may be from the
+	// victim's core: crosstalk couples only interconnects that are
+	// physically routed together, so aggressors outside the victim
+	// core's boundary come from neighboring cores (cf. the locality
+	// factor of the reduced MT model). A negative value means
+	// unlimited (uniform over all other cores); the zero value
+	// defaults to 2 cores on either side.
+	ExternalLocality int
+
+	// ExternalProb is the probability that a pattern has any
+	// aggressors outside the victim core's boundary at all (the paper
+	// allows "at most two"; most coupling is within one core's own
+	// boundary region). When it strikes, 1..MaxExternal external
+	// aggressors are drawn. A negative value means 0; the zero value
+	// defaults to 0.3.
+	ExternalProb float64
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.MinAggressors == 0 {
+		c.MinAggressors = 2
+	}
+	if c.MaxAggressors == 0 {
+		c.MaxAggressors = 6
+	}
+	if c.MaxExternal == 0 {
+		c.MaxExternal = 2
+	}
+	if c.BusProb == 0 {
+		c.BusProb = 0.5
+	}
+	if c.BusProb < 0 {
+		c.BusProb = 0
+	}
+	if c.QuiesceProb == 0 {
+		c.QuiesceProb = 1.0
+	}
+	if c.QuiesceProb < 0 {
+		c.QuiesceProb = 0
+	}
+	if c.ExternalLocality == 0 {
+		c.ExternalLocality = 2
+	}
+	if c.ExternalProb == 0 {
+		c.ExternalProb = 0.3
+	}
+	if c.ExternalProb < 0 {
+		c.ExternalProb = 0
+	}
+	return c
+}
+
+// maFaultKinds enumerates the six maximal-aggressor fault types: positive
+// and negative glitch on a quiescent victim, rising and falling delay
+// (aggressors opposing the victim) and rising and falling speedup
+// (aggressors following the victim).
+var maFaultKinds = [6]struct{ victim, aggressor Symbol }{
+	{Zero, Rise}, // positive glitch
+	{One, Fall},  // negative glitch
+	{Rise, Fall}, // rising delay
+	{Fall, Rise}, // falling delay
+	{Rise, Rise}, // rising speedup
+	{Fall, Fall}, // falling speedup
+}
+
+// Generate produces cfg.N random SI test patterns for s, following the
+// experimental protocol of Section 5. Victim interconnects are drawn
+// uniformly over all WOC positions (so cores with wider boundaries see
+// proportionally more victims); internal aggressors are distinct WOCs of
+// the victim core, external aggressors distinct WOCs of other cores.
+func Generate(s *soc.SOC, cfg GenConfig) ([]*Pattern, error) {
+	cfg = cfg.withDefaults()
+	if cfg.N < 0 {
+		return nil, fmt.Errorf("sifault: negative pattern count %d", cfg.N)
+	}
+	if cfg.MinAggressors < 1 || cfg.MaxAggressors < cfg.MinAggressors {
+		return nil, fmt.Errorf("sifault: bad aggressor bounds [%d,%d]", cfg.MinAggressors, cfg.MaxAggressors)
+	}
+	sp := NewSpace(s)
+	if sp.Total() < 2 {
+		return nil, fmt.Errorf("sifault: SOC has %d WOC positions; need at least 2", sp.Total())
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	patterns := make([]*Pattern, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		patterns = append(patterns, genOne(sp, cfg, rng))
+	}
+	return patterns, nil
+}
+
+func genOne(sp *Space, cfg GenConfig, rng *rand.Rand) *Pattern {
+	victim := int32(rng.Intn(sp.Total()))
+	victimCore := sp.CoreAt(victim)
+	start, n := sp.Range(victimCore)
+
+	// External aggressors come from cores within cfg.ExternalLocality
+	// of the victim's core in layout order (a ring), or from all other
+	// cores when the locality is unlimited.
+	extRanges, extTotal := externalRanges(sp, victimCore, cfg.ExternalLocality)
+
+	na := cfg.MinAggressors + rng.Intn(cfg.MaxAggressors-cfg.MinAggressors+1)
+	maxExt := cfg.MaxExternal
+	if maxExt < 0 || maxExt > na {
+		maxExt = na
+	}
+	if extTotal == 0 {
+		maxExt = 0 // single-core SOC: no external positions exist
+	}
+	nExt := 0
+	if maxExt > 0 && rng.Float64() < cfg.ExternalProb {
+		nExt = 1 + rng.Intn(maxExt)
+	}
+	nInt := na - nExt
+	if avail := n - 1; nInt > avail {
+		// Victim core boundary too narrow: spill to external aggressors.
+		nInt = avail
+		nExt = na - nInt
+		if nExt > extTotal {
+			nExt = extTotal
+		}
+	}
+
+	kind := maFaultKinds[rng.Intn(len(maFaultKinds))]
+	used := map[int32]struct{}{victim: {}}
+	care := make([]Care, 0, 1+nInt+nExt)
+	care = append(care, Care{Pos: victim, Sym: kind.victim})
+
+	pick := func(lo, span int) int32 {
+		for {
+			p := int32(lo + rng.Intn(span))
+			if _, dup := used[p]; !dup {
+				used[p] = struct{}{}
+				return p
+			}
+		}
+	}
+	for j := 0; j < nInt; j++ {
+		care = append(care, Care{Pos: pick(start, n), Sym: kind.aggressor})
+	}
+	for j := 0; j < nExt; j++ {
+		// Uniform over the allowed external positions.
+		for {
+			off := rng.Intn(extTotal)
+			var p int32
+			for _, r := range extRanges {
+				if off < r.n {
+					p = int32(r.start + off)
+					break
+				}
+				off -= r.n
+			}
+			if _, dup := used[p]; !dup {
+				used[p] = struct{}{}
+				care = append(care, Care{Pos: p, Sym: kind.aggressor})
+				break
+			}
+		}
+	}
+	// Quiesce the remaining outputs of the victim's core at steady
+	// random background values (see GenConfig.QuiesceProb).
+	if cfg.QuiesceProb > 0 {
+		for off := 0; off < n; off++ {
+			pos := int32(start + off)
+			if _, taken := used[pos]; taken {
+				continue
+			}
+			if cfg.QuiesceProb < 1 && rng.Float64() >= cfg.QuiesceProb {
+				continue
+			}
+			sym := Zero
+			if rng.Intn(2) == 1 {
+				sym = One
+			}
+			care = append(care, Care{Pos: pos, Sym: sym})
+		}
+	}
+	sort.Slice(care, func(a, b int) bool { return care[a].Pos < care[b].Pos })
+
+	p := &Pattern{
+		Care:       care,
+		VictimPos:  victim,
+		VictimCore: int32(victimCore),
+		Weight:     1,
+	}
+	if sp.BusWidth() > 0 && rng.Float64() < cfg.BusProb {
+		nLines := 1 + rng.Intn(na)
+		if nLines > sp.BusWidth() {
+			nLines = sp.BusWidth()
+		}
+		lines := rng.Perm(sp.BusWidth())[:nLines]
+		sort.Ints(lines)
+		for _, l := range lines {
+			p.Bus = append(p.Bus, BusUse{Line: int32(l), Driver: int32(victimCore)})
+		}
+	}
+	return p
+}
+
+// posRange is one contiguous run of allowed external positions.
+type posRange struct{ start, n int }
+
+// externalRanges returns the WOC position ranges of the cores within
+// the given locality (in core order, as a ring) of the victim core,
+// excluding the victim core itself, together with the total position
+// count. A negative locality allows every other core.
+func externalRanges(sp *Space, victimCore, locality int) ([]posRange, int) {
+	order := sp.CoreOrder()
+	nc := len(order)
+	vIdx := 0
+	for i, id := range order {
+		if id == victimCore {
+			vIdx = i
+			break
+		}
+	}
+	var ranges []posRange
+	total := 0
+	add := func(idx int) {
+		start, n := sp.Range(order[idx])
+		if n == 0 {
+			return
+		}
+		ranges = append(ranges, posRange{start, n})
+		total += n
+	}
+	if locality < 0 || 2*locality+1 >= nc {
+		for i := range order {
+			if i != vIdx {
+				add(i)
+			}
+		}
+		return ranges, total
+	}
+	for d := 1; d <= locality; d++ {
+		add((vIdx + d) % nc)
+		add((vIdx - d + nc) % nc)
+	}
+	return ranges, total
+}
+
+// MACount returns the test-vector-pair count of the maximal-aggressor
+// fault model for n victim interconnects: 6 faults per victim.
+func MACount(n int) int64 { return 6 * int64(n) }
+
+// ReducedMTCount returns the approximate pattern count of the reduced
+// multiple-transition fault model with locality factor k, per Tehranipour
+// et al.: roughly n · 2^(2k+2).
+func ReducedMTCount(n, k int) int64 {
+	return int64(n) << uint(2*k+2)
+}
+
+// SerialExTestCycles estimates the serial (1-bit TAM) external test time
+// for the given pattern count over an SOC whose cores expose totalCells
+// boundary cells: every pattern shifts through all boundary cells once.
+func SerialExTestCycles(patterns, totalCells int64) int64 {
+	return patterns * totalCells
+}

@@ -1,0 +1,173 @@
+package sifault
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Patterns are exchanged between tools in a line-oriented text format:
+//
+//	# sitam SI patterns
+//	space <totalWOC> <busWidth>
+//	p w=3 v=17 vc=2 care=17:u,18:d,40:0 bus=3:2,7:2
+//
+// One "p" line per pattern: w= weight, v= victim position (-1 if
+// merged), vc= victim core (-1 if merged), care= comma-separated
+// pos:symbol entries with symbols {0,1,u,d} (u=rise, d=fall; x is never
+// stored), bus= comma-separated line:driverCore entries. care= and bus=
+// may be omitted when empty.
+
+var symbolCode = map[Symbol]string{Zero: "0", One: "1", Rise: "u", Fall: "d"}
+
+var codeSymbol = map[string]Symbol{"0": Zero, "1": One, "u": Rise, "d": Fall}
+
+// WritePatterns serializes patterns for the space sp.
+func WritePatterns(w io.Writer, sp *Space, patterns []*Pattern) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# sitam SI patterns")
+	fmt.Fprintf(bw, "space %d %d\n", sp.Total(), sp.BusWidth())
+	for _, p := range patterns {
+		fmt.Fprintf(bw, "p w=%d v=%d vc=%d", p.Weight, p.VictimPos, p.VictimCore)
+		if len(p.Care) > 0 {
+			bw.WriteString(" care=")
+			for i, c := range p.Care {
+				if i > 0 {
+					bw.WriteByte(',')
+				}
+				fmt.Fprintf(bw, "%d:%s", c.Pos, symbolCode[c.Sym])
+			}
+		}
+		if len(p.Bus) > 0 {
+			bw.WriteString(" bus=")
+			for i, b := range p.Bus {
+				if i > 0 {
+					bw.WriteByte(',')
+				}
+				fmt.Fprintf(bw, "%d:%d", b.Line, b.Driver)
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadPatterns parses a pattern file. It returns the declared space
+// dimensions (total WOC positions and bus width) alongside the
+// patterns; callers should check them against the SOC they pair the
+// patterns with.
+func ReadPatterns(r io.Reader) (total, busWidth int, patterns []*Pattern, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineno := 0
+	sawSpace := false
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, a ...any) error {
+			return fmt.Errorf("patterns: line %d: %s", lineno, fmt.Sprintf(format, a...))
+		}
+		switch fields[0] {
+		case "space":
+			if len(fields) != 3 {
+				return 0, 0, nil, fail("space expects 2 integers")
+			}
+			if total, err = strconv.Atoi(fields[1]); err != nil {
+				return 0, 0, nil, fail("bad total %q", fields[1])
+			}
+			if busWidth, err = strconv.Atoi(fields[2]); err != nil {
+				return 0, 0, nil, fail("bad bus width %q", fields[2])
+			}
+			sawSpace = true
+		case "p":
+			if !sawSpace {
+				return 0, 0, nil, fail("pattern before space header")
+			}
+			p := &Pattern{VictimPos: -1, VictimCore: -1, Weight: 1}
+			for _, f := range fields[1:] {
+				key, val, ok := strings.Cut(f, "=")
+				if !ok {
+					return 0, 0, nil, fail("bad field %q", f)
+				}
+				switch key {
+				case "w":
+					v, err := strconv.Atoi(val)
+					if err != nil || v < 1 {
+						return 0, 0, nil, fail("bad weight %q", val)
+					}
+					p.Weight = int32(v)
+				case "v":
+					v, err := strconv.Atoi(val)
+					if err != nil {
+						return 0, 0, nil, fail("bad victim %q", val)
+					}
+					p.VictimPos = int32(v)
+				case "vc":
+					v, err := strconv.Atoi(val)
+					if err != nil {
+						return 0, 0, nil, fail("bad victim core %q", val)
+					}
+					p.VictimCore = int32(v)
+				case "care":
+					for _, ent := range strings.Split(val, ",") {
+						ps, ss, ok := strings.Cut(ent, ":")
+						if !ok {
+							return 0, 0, nil, fail("bad care entry %q", ent)
+						}
+						pos, err := strconv.Atoi(ps)
+						if err != nil || pos < 0 || pos >= total {
+							return 0, 0, nil, fail("care position %q outside space of %d", ps, total)
+						}
+						sym, ok := codeSymbol[ss]
+						if !ok {
+							return 0, 0, nil, fail("unknown symbol %q", ss)
+						}
+						p.Care = append(p.Care, Care{Pos: int32(pos), Sym: sym})
+					}
+				case "bus":
+					for _, ent := range strings.Split(val, ",") {
+						ls, ds, ok := strings.Cut(ent, ":")
+						if !ok {
+							return 0, 0, nil, fail("bad bus entry %q", ent)
+						}
+						l, err := strconv.Atoi(ls)
+						if err != nil || l < 0 || l >= busWidth {
+							return 0, 0, nil, fail("bus line %q outside %d-bit bus", ls, busWidth)
+						}
+						d, err := strconv.Atoi(ds)
+						if err != nil {
+							return 0, 0, nil, fail("bad bus driver %q", ds)
+						}
+						p.Bus = append(p.Bus, BusUse{Line: int32(l), Driver: int32(d)})
+					}
+				default:
+					return 0, 0, nil, fail("unknown field %q", key)
+				}
+			}
+			sort.Slice(p.Care, func(i, j int) bool { return p.Care[i].Pos < p.Care[j].Pos })
+			sort.Slice(p.Bus, func(i, j int) bool { return p.Bus[i].Line < p.Bus[j].Line })
+			for i := 1; i < len(p.Care); i++ {
+				if p.Care[i].Pos == p.Care[i-1].Pos {
+					return 0, 0, nil, fail("duplicate care position %d", p.Care[i].Pos)
+				}
+			}
+			patterns = append(patterns, p)
+		default:
+			return 0, 0, nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, nil, fmt.Errorf("patterns: %w", err)
+	}
+	if !sawSpace {
+		return 0, 0, nil, fmt.Errorf("patterns: missing space header")
+	}
+	return total, busWidth, patterns, nil
+}

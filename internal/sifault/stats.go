@@ -1,0 +1,114 @@
+package sifault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SetStats summarizes a pattern set: distributions of care bits,
+// aggressors, bus usage and victim cores. Used by sigen -stats and by
+// calibration tests.
+type SetStats struct {
+	Patterns    int
+	TotalWeight int64
+
+	// CareBits is the distribution of determined positions per pattern.
+	CareBits Distribution
+
+	// Transitions is the distribution of transition symbols (↑/↓) per
+	// pattern — for freshly generated patterns, the aggressors plus a
+	// transitioning victim.
+	Transitions Distribution
+
+	// BusLines is the distribution of occupied bus lines per pattern.
+	BusLines Distribution
+
+	// BusUsing is the number of patterns occupying at least one line.
+	BusUsing int
+
+	// VictimsPerCore maps core ID to the number of patterns whose
+	// victim lives there (merged patterns with no victim are skipped).
+	VictimsPerCore map[int]int
+}
+
+// Distribution is a simple integer sample summary.
+type Distribution struct {
+	Min, Max int
+	Sum      int64
+	N        int
+}
+
+// Add folds one sample into the distribution.
+func (d *Distribution) Add(v int) {
+	if d.N == 0 || v < d.Min {
+		d.Min = v
+	}
+	if d.N == 0 || v > d.Max {
+		d.Max = v
+	}
+	d.Sum += int64(v)
+	d.N++
+}
+
+// Mean returns the sample mean (0 for an empty distribution).
+func (d Distribution) Mean() float64 {
+	if d.N == 0 {
+		return 0
+	}
+	return float64(d.Sum) / float64(d.N)
+}
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	return fmt.Sprintf("min=%d mean=%.1f max=%d", d.Min, d.Mean(), d.Max)
+}
+
+// Analyze computes SetStats for a pattern set.
+func Analyze(patterns []*Pattern) SetStats {
+	st := SetStats{Patterns: len(patterns), VictimsPerCore: map[int]int{}}
+	for _, p := range patterns {
+		st.TotalWeight += int64(p.Weight)
+		st.CareBits.Add(len(p.Care))
+		tr := 0
+		for _, c := range p.Care {
+			if c.Sym == Rise || c.Sym == Fall {
+				tr++
+			}
+		}
+		st.Transitions.Add(tr)
+		st.BusLines.Add(len(p.Bus))
+		if len(p.Bus) > 0 {
+			st.BusUsing++
+		}
+		if p.VictimCore >= 0 {
+			st.VictimsPerCore[int(p.VictimCore)]++
+		}
+	}
+	return st
+}
+
+// Format renders the statistics as a short report.
+func (st SetStats) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d patterns (total weight %d)\n", st.Patterns, st.TotalWeight)
+	fmt.Fprintf(&b, "  care bits:   %s\n", st.CareBits)
+	fmt.Fprintf(&b, "  transitions: %s\n", st.Transitions)
+	if st.Patterns > 0 {
+		fmt.Fprintf(&b, "  bus usage:   %d/%d patterns (%.0f%%), lines %s\n",
+			st.BusUsing, st.Patterns, 100*float64(st.BusUsing)/float64(st.Patterns), st.BusLines)
+	}
+	if len(st.VictimsPerCore) > 0 {
+		ids := make([]int, 0, len(st.VictimsPerCore))
+		for id := range st.VictimsPerCore {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		b.WriteString("  victims per core:")
+		for _, id := range ids {
+			fmt.Fprintf(&b, " %d:%d", id, st.VictimsPerCore[id])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package sischedule
+
+import (
+	"fmt"
+
+	"sitam/internal/tam"
+)
+
+// Exact SI scheduling for small group counts. Algorithm 1 is a greedy
+// first-fit list scheduler; for a handful of groups the optimal
+// makespan can be found by branch-and-bound over the serial
+// schedule-generation scheme: every permutation of the groups, each
+// placed at its earliest rail-feasible start, enumerates all active
+// schedules, which are known to contain an optimum for makespan
+// objectives. Used by tests and the ablation study to bound Algorithm
+// 1's optimality gap.
+
+// MaxExactGroups bounds the instance size ExactSchedule accepts.
+const MaxExactGroups = 10
+
+// ExactSchedule returns the minimum-makespan SI testing time for the
+// groups on the architecture (same cost model as ScheduleSITest) and
+// the number of branch-and-bound nodes explored.
+func ExactSchedule(a *tam.Architecture, groups []*Group, m Model) (int64, int, error) {
+	times, err := CalculateSITestTime(a, groups, m)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(a.Rails) > 64 {
+		return 0, 0, fmt.Errorf("sischedule: exact scheduling supports at most 64 rails, got %d", len(a.Rails))
+	}
+	type job struct {
+		dur  int64
+		mask uint64
+	}
+	var jobs []job
+	for i := range groups {
+		if times[i].Time <= 0 || len(times[i].Rails) == 0 {
+			continue
+		}
+		var mask uint64
+		for _, ri := range times[i].Rails {
+			mask |= 1 << uint(ri)
+		}
+		jobs = append(jobs, job{times[i].Time, mask})
+	}
+	if len(jobs) > MaxExactGroups {
+		return 0, 0, fmt.Errorf("sischedule: exact scheduling limited to %d groups, got %d", MaxExactGroups, len(jobs))
+	}
+	if len(jobs) == 0 {
+		return 0, 0, nil
+	}
+
+	// Per-rail total load: a lower bound on the makespan.
+	railLoad := make([]int64, len(a.Rails))
+	for _, j := range jobs {
+		for r := 0; r < len(a.Rails); r++ {
+			if j.mask&(1<<uint(r)) != 0 {
+				railLoad[r] += j.dur
+			}
+		}
+	}
+	var best int64 = -1
+	railFree := make([]int64, len(a.Rails))
+	remaining := make([]int64, len(a.Rails))
+	copy(remaining, railLoad)
+	used := make([]bool, len(jobs))
+	nodes := 0
+
+	var dfs func(done int, makespan int64)
+	dfs = func(done int, makespan int64) {
+		nodes++
+		if best >= 0 {
+			// Bound: any completion is at least the current makespan
+			// and at least each rail's free time plus its remaining
+			// load.
+			lb := makespan
+			for r := range railFree {
+				if v := railFree[r] + remaining[r]; v > lb {
+					lb = v
+				}
+			}
+			if lb >= best {
+				return
+			}
+		}
+		if done == len(jobs) {
+			if best < 0 || makespan < best {
+				best = makespan
+			}
+			return
+		}
+		for i, j := range jobs {
+			if used[i] {
+				continue
+			}
+			// Earliest feasible start: all involved rails free.
+			var start int64
+			for r := range railFree {
+				if j.mask&(1<<uint(r)) != 0 && railFree[r] > start {
+					start = railFree[r]
+				}
+			}
+			end := start + j.dur
+			// Apply.
+			saved := make([]int64, 0, 4)
+			for r := range railFree {
+				if j.mask&(1<<uint(r)) != 0 {
+					saved = append(saved, railFree[r])
+					railFree[r] = end
+					remaining[r] -= j.dur
+				}
+			}
+			used[i] = true
+			ms := makespan
+			if end > ms {
+				ms = end
+			}
+			dfs(done+1, ms)
+			// Undo.
+			used[i] = false
+			k := 0
+			for r := range railFree {
+				if j.mask&(1<<uint(r)) != 0 {
+					railFree[r] = saved[k]
+					remaining[r] += j.dur
+					k++
+				}
+			}
+		}
+	}
+	dfs(0, 0)
+	return best, nodes, nil
+}

@@ -1,0 +1,60 @@
+package sischedule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Gantt renders the schedule as an ASCII chart: one row per rail,
+// time flowing left to right across `cols` character cells. Each SI
+// test group is drawn with a single letter (A, B, C, ... in slot
+// order); idle rail time is '.'. A header scale and a legend are
+// included. Zero-duration slots are omitted.
+func (s *Schedule) Gantt(nRails, cols int) string {
+	if cols < 10 {
+		cols = 10
+	}
+	if s.TotalSI <= 0 || nRails <= 0 {
+		return "(empty SI schedule)\n"
+	}
+	scale := float64(cols) / float64(s.TotalSI)
+	rows := make([][]byte, nRails)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", cols))
+	}
+	var legend strings.Builder
+	letter := byte('A')
+	for _, sl := range s.Slots {
+		if sl.Time <= 0 {
+			continue
+		}
+		from := int(float64(sl.Begin) * scale)
+		to := int(float64(sl.End) * scale)
+		if to <= from {
+			to = from + 1
+		}
+		if to > cols {
+			to = cols
+		}
+		for _, ri := range sl.Rails {
+			if ri >= nRails {
+				continue
+			}
+			for c := from; c < to; c++ {
+				rows[ri][c] = letter
+			}
+		}
+		fmt.Fprintf(&legend, "  %c = %s (%d patterns, [%d,%d))\n",
+			letter, sl.Group.Name, sl.Group.Patterns, sl.Begin, sl.End)
+		if letter < 'Z' {
+			letter++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "SI schedule Gantt, 0 .. %d cc\n", s.TotalSI)
+	for i, row := range rows {
+		fmt.Fprintf(&b, "  TAM%-2d |%s|\n", i+1, row)
+	}
+	b.WriteString(legend.String())
+	return b.String()
+}

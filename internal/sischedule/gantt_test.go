@@ -1,0 +1,67 @@
+package sischedule
+
+import (
+	"strings"
+	"testing"
+
+	"sitam/internal/tam"
+)
+
+func TestGanttRendering(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	a.AddRail([]int{1, 4, 5}, 2)
+	a.AddRail([]int{2, 3}, 2)
+	sched, err := ScheduleSITest(a, fig3Groups(), Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sched.Gantt(2, 60)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[0], "360") {
+		t.Errorf("header missing total time: %q", lines[0])
+	}
+	if !strings.Contains(out, "TAM1") || !strings.Contains(out, "TAM2") {
+		t.Errorf("missing rail rows:\n%s", out)
+	}
+	// SI1 is slot A on both rails from t=0; both rows must start with A.
+	for _, row := range lines[1:3] {
+		bar := row[strings.Index(row, "|")+1:]
+		if bar[0] != 'A' {
+			t.Errorf("row does not start with A: %q", row)
+		}
+	}
+	// Legend lists all three groups.
+	for _, g := range []string{"SI1", "SI2", "SI3"} {
+		if !strings.Contains(out, g) {
+			t.Errorf("legend missing %s:\n%s", g, out)
+		}
+	}
+	// TAM2 idles after SI3 while SI2 still runs on TAM1: row 2 must
+	// contain idle dots at the end.
+	if !strings.HasSuffix(strings.TrimSuffix(lines[2], "|"), ".") {
+		t.Errorf("TAM2 row shows no trailing idle time: %q", lines[2])
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	empty := &Schedule{}
+	if out := empty.Gantt(3, 40); !strings.Contains(out, "empty") {
+		t.Errorf("empty schedule Gantt = %q", out)
+	}
+}
+
+func TestGanttClampsColumns(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	a.AddRail([]int{1, 2, 3, 4, 5}, 2)
+	sched, err := ScheduleSITest(a, fig3Groups(), Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sched.Gantt(1, 3) // clamped up to 10 columns
+	rows := strings.Split(out, "\n")
+	if len(rows) < 2 || !strings.Contains(rows[1], "|") {
+		t.Fatalf("Gantt = %q", out)
+	}
+}

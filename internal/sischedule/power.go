@@ -1,0 +1,164 @@
+package sischedule
+
+import (
+	"fmt"
+
+	"sitam/internal/tam"
+)
+
+// Power-constrained SI test scheduling. During an SI test every
+// involved core's boundary cells toggle at speed, so running many
+// groups concurrently can exceed the SOC's test power envelope — the
+// classic constraint of SOC test scheduling (Chou et al.; Iyengar &
+// Chakrabarty). The paper schedules SI tests with rail exclusivity
+// only; this extension additionally enforces a power ceiling, and
+// degrades gracefully to Algorithm 1 when the budget is unlimited.
+
+// GroupPower estimates the test power of an SI group as the total
+// number of wrapper output cells it toggles: Σ WOC over its cores.
+func GroupPower(a *tam.Architecture, g *Group) int64 {
+	var p int64
+	for _, id := range g.Cores {
+		c := a.SOC.CoreByID(id)
+		if c != nil {
+			p += int64(c.WOC())
+		}
+	}
+	return p
+}
+
+// ScheduleSITestPower is ScheduleSITest with a power ceiling: at any
+// instant the sum of GroupPower over the running groups must not
+// exceed budget. A budget <= 0 means unlimited. An individual group
+// whose power alone exceeds a positive budget makes the schedule
+// infeasible and is reported as an error.
+func ScheduleSITestPower(a *tam.Architecture, groups []*Group, m Model, budget int64) (*Schedule, error) {
+	times, err := CalculateSITestTime(a, groups, m)
+	if err != nil {
+		return nil, err
+	}
+	if budget > 0 {
+		for _, g := range groups {
+			if p := GroupPower(a, g); p > budget {
+				return nil, fmt.Errorf("sischedule: group %q needs power %d > budget %d", g.Name, p, budget)
+			}
+		}
+	}
+	sched := &Schedule{RailSI: make([]int64, len(a.Rails))}
+
+	type pending struct {
+		g     *Group
+		gt    GroupTime
+		power int64
+	}
+	unsched := make([]pending, 0, len(groups))
+	for i, g := range groups {
+		if len(times[i].Rails) == 0 || g.Patterns == 0 {
+			sched.Slots = append(sched.Slots, Slot{Group: g, GroupTime: times[i]})
+			for j, ri := range times[i].Rails {
+				sched.RailSI[ri] += times[i].PerRail[j]
+			}
+			continue
+		}
+		unsched = append(unsched, pending{g, times[i], GroupPower(a, g)})
+	}
+
+	busy := make([]bool, len(a.Rails))
+	type running struct {
+		end   int64
+		rails []int
+		power int64
+	}
+	var active []running
+	var currTime, powerInUse int64
+
+	for len(unsched) > 0 {
+		found := -1
+		for i, p := range unsched {
+			if budget > 0 && powerInUse+p.power > budget {
+				continue
+			}
+			ok := true
+			for _, ri := range p.gt.Rails {
+				if busy[ri] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				found = i
+				break
+			}
+		}
+		if found >= 0 {
+			p := unsched[found]
+			unsched = append(unsched[:found], unsched[found+1:]...)
+			slot := Slot{Group: p.g, GroupTime: p.gt, Begin: currTime, End: currTime + p.gt.Time}
+			sched.Slots = append(sched.Slots, slot)
+			for j, ri := range p.gt.Rails {
+				busy[ri] = true
+				sched.RailSI[ri] += p.gt.PerRail[j]
+			}
+			active = append(active, running{slot.End, p.gt.Rails, p.power})
+			powerInUse += p.power
+			if slot.End > sched.TotalSI {
+				sched.TotalSI = slot.End
+			}
+			continue
+		}
+		var next int64 = -1
+		for _, r := range active {
+			if r.end > currTime && (next < 0 || r.end < next) {
+				next = r.end
+			}
+		}
+		if next < 0 {
+			return nil, fmt.Errorf("sischedule: deadlock — %d groups unscheduled with no active group", len(unsched))
+		}
+		currTime = next
+		keep := active[:0]
+		for _, r := range active {
+			if r.end > currTime {
+				keep = append(keep, r)
+			} else {
+				for _, ri := range r.rails {
+					busy[ri] = false
+				}
+				powerInUse -= r.power
+			}
+		}
+		active = keep
+	}
+
+	for i, t := range sched.RailSI {
+		a.Rails[i].TimeSI = t
+	}
+	return sched, nil
+}
+
+// ValidatePower checks that no instant of the schedule exceeds the
+// power budget (budget <= 0 always passes).
+func ValidatePower(a *tam.Architecture, s *Schedule, budget int64) error {
+	if budget <= 0 {
+		return nil
+	}
+	// Sweep the slot boundaries.
+	for _, probe := range s.Slots {
+		if probe.Time <= 0 {
+			continue
+		}
+		var inUse int64
+		for _, sl := range s.Slots {
+			if sl.Time <= 0 {
+				continue
+			}
+			if sl.Begin <= probe.Begin && probe.Begin < sl.End {
+				inUse += GroupPower(a, sl.Group)
+			}
+		}
+		if inUse > budget {
+			return fmt.Errorf("sischedule: power %d in use at t=%d exceeds budget %d", inUse, probe.Begin, budget)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package sischedule
+
+import (
+	"testing"
+
+	"sitam/internal/tam"
+)
+
+func TestPowerUnlimitedMatchesAlgorithm1(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	a.AddRail([]int{1, 4, 5}, 2)
+	a.AddRail([]int{2, 3}, 2)
+	groups := fig3Groups()
+
+	plain, err := ScheduleSITest(a, groups, Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlimited, err := ScheduleSITestPower(a, groups, Model{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unlimited.TotalSI != plain.TotalSI {
+		t.Errorf("unlimited power schedule %d != Algorithm 1 %d", unlimited.TotalSI, plain.TotalSI)
+	}
+}
+
+func TestPowerBudgetSerializes(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	a.AddRail([]int{1, 4, 5}, 2)
+	a.AddRail([]int{2, 3}, 2)
+	// SI2 (cores 1,4,5: power 24) and SI3 (cores 2,3: power 16) sit on
+	// disjoint rails in the Fig. 3(b) design, so Algorithm 1 overlaps
+	// them. A budget of 30 forbids the overlap (24+16 > 30) while each
+	// group alone still fits.
+	groups := []*Group{fig3Groups()[1], fig3Groups()[2]}
+	sched, err := ScheduleSITestPower(a, groups, Model{}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePower(a, sched, 30); err != nil {
+		t.Fatal(err)
+	}
+	// Unconstrained T_si is max(240, 40) = 240; serialized it is
+	// 240 + 40 = 280.
+	if sched.TotalSI != 280 {
+		t.Errorf("T_si = %d, want 280 (serialized)\n%s", sched.TotalSI, sched)
+	}
+	unconstrained, err := ScheduleSITestPower(a, groups, Model{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unconstrained.TotalSI != 240 {
+		t.Errorf("unconstrained T_si = %d, want 240", unconstrained.TotalSI)
+	}
+}
+
+func TestPowerMonotonicInBudget(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	a.AddRail([]int{1, 4, 5}, 2)
+	a.AddRail([]int{2, 3}, 2)
+	// Drop SI1 (power 40) so tighter budgets stay feasible.
+	groups := []*Group{fig3Groups()[1], fig3Groups()[2]}
+
+	prev := int64(-1)
+	for _, budget := range []int64{24, 30, 40, 0} { // 0 = unlimited, last
+		sched, err := ScheduleSITestPower(a, groups, Model{}, budget)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if err := ValidatePower(a, sched, budget); err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if prev >= 0 && sched.TotalSI > prev {
+			t.Errorf("budget %d: T_si %d worse than tighter budget's %d", budget, sched.TotalSI, prev)
+		}
+		prev = sched.TotalSI
+	}
+}
+
+func TestPowerInfeasibleGroup(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	a.AddRail([]int{1, 2, 3, 4, 5}, 2)
+	groups := fig3Groups()
+	// SI1 involves all five cores: power 40 > budget 39.
+	if _, err := ScheduleSITestPower(a, groups, Model{}, 39); err == nil {
+		t.Error("accepted an infeasible group")
+	}
+}
+
+func TestGroupPower(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	a.AddRail([]int{1, 2, 3, 4, 5}, 2)
+	g := &Group{Name: "g", Cores: []int{1, 2}, Patterns: 1}
+	if got := GroupPower(a, g); got != 16 {
+		t.Errorf("GroupPower = %d, want 16 (two 8-WOC cores)", got)
+	}
+	unknown := &Group{Name: "u", Cores: []int{99}, Patterns: 1}
+	if got := GroupPower(a, unknown); got != 0 {
+		t.Errorf("GroupPower(unknown) = %d, want 0", got)
+	}
+}
+
+func TestValidatePowerCatchesViolation(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	a.AddRail([]int{1, 4, 5}, 2)
+	a.AddRail([]int{2, 3}, 2)
+	// Build an unconstrained schedule, then validate against a budget
+	// it violates.
+	sched, err := ScheduleSITest(a, fig3Groups(), Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePower(a, sched, 30); err == nil {
+		t.Error("ValidatePower missed the SI2/SI3 overlap at budget 30")
+	}
+}

@@ -1,0 +1,310 @@
+package sischedule
+
+import (
+	"strings"
+	"testing"
+
+	"sitam/internal/soc"
+	"sitam/internal/tam"
+	"sitam/internal/wrapper"
+)
+
+// fig3SOC builds the five-core SOC of the paper's Fig. 3 / Example 1.
+// Every core has 8 WOCs so that per-core shift time on a 2-wire rail is
+// 4 cycles per pattern.
+func fig3SOC(t *testing.T) (*soc.SOC, *wrapper.TimeTable) {
+	t.Helper()
+	s := &soc.SOC{Name: "fig3", BusWidth: 8}
+	for id := 1; id <= 5; id++ {
+		s.CoreList = append(s.CoreList, &soc.Core{
+			ID: id, Inputs: 2, Outputs: 8, ScanChains: []int{5}, Patterns: 10,
+		})
+	}
+	tt, err := wrapper.NewTimeTable(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tt
+}
+
+func fig3Groups() []*Group {
+	return []*Group{
+		{Name: "SI1", Cores: []int{1, 2, 3, 4, 5}, Patterns: 10},
+		{Name: "SI2", Cores: []int{1, 4, 5}, Patterns: 20},
+		{Name: "SI3", Cores: []int{2, 3}, Patterns: 5},
+	}
+}
+
+// TestExample1Fig3a reproduces Example 1 for the TAM design of
+// Fig. 3(a): TAM1={1,2}, TAM2={3,4}, TAM3={5}, all 2 wires wide.
+func TestExample1Fig3a(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	a.AddRail([]int{1, 2}, 2)
+	a.AddRail([]int{3, 4}, 2)
+	a.AddRail([]int{5}, 2)
+
+	times, err := CalculateSITestTime(a, fig3Groups(), Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-core shift on a 2-wire rail: ceil(8/2) = 4 cycles/pattern.
+	// SI1: T_si1 = max(T1+T2, T3+T4, T5) = max(80, 80, 40) = 80.
+	if times[0].Time != 80 {
+		t.Errorf("SI1 time = %d, want 80", times[0].Time)
+	}
+	if len(times[0].Rails) != 3 {
+		t.Errorf("SI1 rails = %v, want all three", times[0].Rails)
+	}
+	// SI2 involves cores 1,4,5 -> 4*20=80 on each of the three rails.
+	if times[1].Time != 80 || len(times[1].Rails) != 3 {
+		t.Errorf("SI2 = %+v, want 80 over 3 rails", times[1])
+	}
+	// SI3 involves cores 2,3 -> 20 on TAM1 and TAM2 only.
+	if times[2].Time != 20 || len(times[2].Rails) != 2 {
+		t.Errorf("SI3 = %+v, want 20 over rails {0,1}", times[2])
+	}
+	for _, ri := range times[2].Rails {
+		if ri == 2 {
+			t.Error("SI3 must not involve TAM3")
+		}
+	}
+
+	// All three groups share rails, so the schedule is fully serial:
+	// T_si = 80 + 80 + 20 = 180.
+	sched, err := ScheduleSITest(a, fig3Groups(), Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.TotalSI != 180 {
+		t.Errorf("T_si = %d, want 180\n%s", sched.TotalSI, sched)
+	}
+	if err := sched.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExample1Fig3b checks the bottleneck shift of Fig. 3(b):
+// TAM1={1,4,5}, TAM2={2,3}. SI1's time becomes T1+T4+T5 = 120 even
+// though the same SI test uses the same total TAM resources.
+func TestExample1Fig3b(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	a.AddRail([]int{1, 4, 5}, 2)
+	a.AddRail([]int{2, 3}, 2)
+
+	times, err := CalculateSITestTime(a, fig3Groups(), Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times[0].Time != 120 {
+		t.Errorf("SI1 time = %d, want 120 (= T1+T4+T5 on TAM1)", times[0].Time)
+	}
+	if times[0].Bottleneck != 0 {
+		t.Errorf("SI1 bottleneck = TAM%d, want TAM1", times[0].Bottleneck+1)
+	}
+	// SI2 {1,4,5}: TAM1 3*4*20=240, TAM2 uninvolved.
+	if times[1].Time != 240 || len(times[1].Rails) != 1 {
+		t.Errorf("SI2 = %+v", times[1])
+	}
+	// SI3 {2,3}: TAM2 only, 2*4*5 = 40.
+	if times[2].Time != 40 || len(times[2].Rails) != 1 || times[2].Rails[0] != 1 {
+		t.Errorf("SI3 = %+v", times[2])
+	}
+
+	// SI2 (TAM1 only) and SI3 (TAM2 only) overlap after SI1:
+	// T_si = 120 + max(240, 40) = 360.
+	sched, err := ScheduleSITest(a, fig3Groups(), Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.TotalSI != 360 {
+		t.Errorf("T_si = %d, want 360\n%s", sched.TotalSI, sched)
+	}
+	if err := sched.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Check the overlap actually happened.
+	var si2, si3 Slot
+	for _, sl := range sched.Slots {
+		switch sl.Group.Name {
+		case "SI2":
+			si2 = sl
+		case "SI3":
+			si3 = sl
+		}
+	}
+	if si2.Begin != 120 || si3.Begin != 120 {
+		t.Errorf("SI2 begins %d, SI3 begins %d; want both 120", si2.Begin, si3.Begin)
+	}
+}
+
+func TestBypassAndOverheadModel(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	a.AddRail([]int{1, 2}, 2)
+	a.AddRail([]int{3, 4}, 2)
+
+	groups := []*Group{{Name: "g", Cores: []int{2, 3}, Patterns: 5}}
+	times, err := CalculateSITestTime(a, groups, Model{Bypass: 1, Overhead: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On TAM1: shift 4 (core 2) + bypass 1 (core 1) + overhead 3 = 8
+	// cycles/pattern -> 40 over 5 patterns. Same on TAM2.
+	if times[0].Time != 40 {
+		t.Errorf("time = %d, want 40", times[0].Time)
+	}
+}
+
+func TestScheduleRailUtilization(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	a.AddRail([]int{1, 2}, 2)
+	a.AddRail([]int{3, 4}, 2)
+	a.AddRail([]int{5}, 2)
+
+	sched, err := ScheduleSITest(a, fig3Groups(), Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TAM3 is busy 40 (SI1) + 80 (SI2) = 120; Fig. 4's example
+	// time_si(TAM3) = T5^si1 + T5^si2.
+	if sched.RailSI[2] != 120 {
+		t.Errorf("RailSI[TAM3] = %d, want 120", sched.RailSI[2])
+	}
+	if a.Rails[2].TimeSI != 120 {
+		t.Errorf("rail TimeSI not refreshed: %d", a.Rails[2].TimeSI)
+	}
+	// TAM1: SI1 80 + SI2 80 (core 1) + SI3 20 (core 2) = 180.
+	if sched.RailSI[0] != 180 {
+		t.Errorf("RailSI[TAM1] = %d, want 180", sched.RailSI[0])
+	}
+}
+
+func TestZeroPatternGroupTakesNoTime(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	a.AddRail([]int{1, 2, 3, 4, 5}, 4)
+	groups := []*Group{
+		{Name: "empty", Cores: []int{1}, Patterns: 0},
+		{Name: "real", Cores: []int{2}, Patterns: 10},
+	}
+	sched, err := ScheduleSITest(a, groups, Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.TotalSI != 20 { // ceil(8/4)=2 cycles * 10 patterns
+		t.Errorf("T_si = %d, want 20", sched.TotalSI)
+	}
+}
+
+func TestGroupWithNoCores(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	a.AddRail([]int{1, 2, 3, 4, 5}, 4)
+	sched, err := ScheduleSITest(a, []*Group{{Name: "none", Patterns: 5}}, Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.TotalSI != 0 {
+		t.Errorf("T_si = %d, want 0", sched.TotalSI)
+	}
+}
+
+func TestUnknownCoreRejected(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	a.AddRail([]int{1, 2, 3, 4, 5}, 4)
+	if _, err := CalculateSITestTime(a, []*Group{{Name: "bad", Cores: []int{77}, Patterns: 1}}, Model{}); err == nil {
+		t.Error("accepted group with unknown core")
+	}
+}
+
+func TestSerialTimeIsUpperBound(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	a.AddRail([]int{1, 4, 5}, 2)
+	a.AddRail([]int{2, 3}, 2)
+	groups := fig3Groups()
+	sched, err := ScheduleSITest(a, groups, Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := SerialTime(a, groups, Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial < sched.TotalSI {
+		t.Errorf("serial %d < scheduled %d", serial, sched.TotalSI)
+	}
+	if serial != 120+240+40 {
+		t.Errorf("serial = %d, want 400", serial)
+	}
+}
+
+func TestManyDisjointGroupsOverlapFully(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	for id := 1; id <= 5; id++ {
+		a.AddRail([]int{id}, 2)
+	}
+	var groups []*Group
+	for id := 1; id <= 5; id++ {
+		groups = append(groups, &Group{Name: "g", Cores: []int{id}, Patterns: 10})
+	}
+	sched, err := ScheduleSITest(a, groups, Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All five groups run concurrently: 4 cycles * 10 patterns each.
+	if sched.TotalSI != 40 {
+		t.Errorf("T_si = %d, want 40 (full overlap)", sched.TotalSI)
+	}
+	for _, sl := range sched.Slots {
+		if sl.Begin != 0 {
+			t.Errorf("slot %s begins at %d, want 0", sl.Group.Name, sl.Begin)
+		}
+	}
+}
+
+func TestScheduleValidateCatchesOverlap(t *testing.T) {
+	bad := &Schedule{Slots: []Slot{
+		{Group: &Group{Name: "a", Patterns: 1}, GroupTime: GroupTime{Time: 10, Rails: []int{0}}, Begin: 0, End: 10},
+		{Group: &Group{Name: "b", Patterns: 1}, GroupTime: GroupTime{Time: 10, Rails: []int{0}}, Begin: 5, End: 15},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted overlapping slots on one rail")
+	}
+	wrongDur := &Schedule{Slots: []Slot{
+		{Group: &Group{Name: "a", Patterns: 1}, GroupTime: GroupTime{Time: 10, Rails: []int{0}}, Begin: 0, End: 5},
+	}}
+	if err := wrongDur.Validate(); err == nil {
+		t.Error("Validate accepted wrong duration")
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	s, tt := fig3SOC(t)
+	a := tam.New(s, tt)
+	a.AddRail([]int{1, 2, 3, 4, 5}, 2)
+	sched, err := ScheduleSITest(a, fig3Groups(), Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sched.String()
+	for _, want := range []string{"SI1", "SI2", "SI3", "T_si="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGroupClone(t *testing.T) {
+	g := &Group{Name: "g", Cores: []int{1, 2}, Patterns: 5}
+	c := g.Clone()
+	c.Cores[0] = 9
+	if g.Cores[0] != 1 {
+		t.Error("Clone shares core slice")
+	}
+}

@@ -1,0 +1,71 @@
+package sisim
+
+import (
+	"sitam/internal/sifault"
+)
+
+// Coverage-driven pattern selection: grade a candidate pattern stream
+// against the MA fault list with fault dropping and keep only the
+// patterns that detect at least one not-yet-detected fault. This is
+// the classic test-compaction-by-fault-dropping step that precedes
+// structural compaction: it shrinks the random N_r stream to its
+// useful core before the two-dimensional compaction of Section 3 even
+// starts.
+
+// Selection is the outcome of SelectUseful.
+type Selection struct {
+	// Kept holds the selected patterns, in input order.
+	Kept []*sifault.Pattern
+
+	// KeptIndex[i] is the input index of Kept[i].
+	KeptIndex []int
+
+	// Coverage is the final coverage achieved by the kept set (equal
+	// to that of the full input set).
+	Coverage Coverage
+
+	// NewFaults[i] is the number of new faults pattern Kept[i]
+	// detected when it was admitted.
+	NewFaults []int
+}
+
+// SelectUseful filters patterns to those contributing new fault
+// detections.
+func (s *Simulator) SelectUseful(patterns []*sifault.Pattern) Selection {
+	sel := Selection{}
+	total := 6 * len(s.topo.Nets)
+	sel.Coverage.Total = total
+	for i := range s.worst {
+		if s.worst[i] == 0 {
+			sel.Coverage.Undetectable += 6
+		}
+	}
+	detected := make([]bool, total)
+	for idx, p := range patterns {
+		newHits := 0
+		for _, c := range p.Care {
+			net, ok := s.netAt[c.Pos]
+			if !ok {
+				continue
+			}
+			for k := FaultKind(0); k < numKinds; k++ {
+				fi := net*6 + int(k)
+				if detected[fi] {
+					continue
+				}
+				if s.Detects(p, Fault{Net: net, Kind: k}) {
+					detected[fi] = true
+					newHits++
+					sel.Coverage.Detected++
+					sel.Coverage.PerKind[k]++
+				}
+			}
+		}
+		if newHits > 0 {
+			sel.Kept = append(sel.Kept, p)
+			sel.KeptIndex = append(sel.KeptIndex, idx)
+			sel.NewFaults = append(sel.NewFaults, newHits)
+		}
+	}
+	return sel
+}

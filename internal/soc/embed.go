@@ -1,0 +1,56 @@
+package soc
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Regenerate the reconstructed benchmark files (p34392, p93791) with:
+//
+//go:generate sh -c "cd benchmarks && go run ../../../tools/gensoc"
+
+//go:embed benchmarks/*.soc
+var benchmarkFS embed.FS
+
+// Benchmarks returns the names of the embedded benchmark SOCs.
+func Benchmarks() []string {
+	entries, err := benchmarkFS.ReadDir("benchmarks")
+	if err != nil {
+		// The embed directive guarantees the directory exists; reaching
+		// here indicates a build-system failure.
+		panic(fmt.Sprintf("soc: embedded benchmarks unreadable: %v", err))
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".soc"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LoadBenchmark parses one of the embedded benchmark SOCs by name
+// (e.g. "p34392" or "p93791").
+func LoadBenchmark(name string) (*SOC, error) {
+	data, err := benchmarkFS.ReadFile("benchmarks/" + name + ".soc")
+	if err != nil {
+		return nil, fmt.Errorf("soc: unknown benchmark %q (have %v)", name, Benchmarks())
+	}
+	s, err := ParseString(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("soc: embedded benchmark %q: %w", name, err)
+	}
+	return s, nil
+}
+
+// MustLoadBenchmark is LoadBenchmark that panics on error. Embedded
+// benchmarks are validated by the package tests, so a failure indicates
+// a corrupted build.
+func MustLoadBenchmark(name string) *SOC {
+	s, err := LoadBenchmark(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

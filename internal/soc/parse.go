@@ -1,0 +1,275 @@
+package soc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The .soc format accepted by Parse is a line-oriented, whitespace-separated
+// description modeled on the ITC'02 SOC Test Benchmarks distribution:
+//
+//	SocName p34392
+//	BusWidth 32            # optional, defaults to 32
+//	TotalModules 20
+//
+//	Module 0               # SOC top level: terminals only
+//	  Name top
+//	  Inputs 32
+//	  Outputs 32
+//	  Bidirs 0
+//
+//	Module 1
+//	  Inputs 117
+//	  Outputs 18
+//	  Bidirs 0
+//	  ScanChains 4 : 201 199 198 198
+//	  Patterns 210
+//
+// '#' starts a comment that runs to end of line. Keys are case-insensitive.
+// "ScanChains n : l1 ... ln" lists the n internal scan-chain lengths; a
+// module line without ScanChains describes a combinational core. Module 0,
+// when present, is stored as SOC.Top and excluded from Cores().
+
+// Parse reads an SOC description in the .soc format from r.
+func Parse(r io.Reader) (*SOC, error) {
+	s := &SOC{BusWidth: DefaultBusWidth}
+	var cur *Core
+	var curTest *CoreTest
+	declaredTests := make(map[*Core]int)
+	total := -1
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		key := strings.ToLower(fields[0])
+		args := fields[1:]
+		fail := func(format string, a ...any) error {
+			return fmt.Errorf("soc parse: line %d: %s", lineno, fmt.Sprintf(format, a...))
+		}
+		needInt := func(what string) (int, error) {
+			if len(args) != 1 {
+				return 0, fail("%s expects one integer argument, got %d", what, len(args))
+			}
+			// The original ITC'02 files write "Module 1:" and
+			// "Test 1:" with a trailing colon; tolerate it.
+			v, err := strconv.Atoi(strings.TrimSuffix(args[0], ":"))
+			if err != nil {
+				return 0, fail("%s: bad integer %q", what, args[0])
+			}
+			return v, nil
+		}
+
+		switch key {
+		case "socname":
+			if len(args) != 1 {
+				return nil, fail("SocName expects one argument")
+			}
+			s.Name = args[0]
+		case "buswidth":
+			v, err := needInt("BusWidth")
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 {
+				return nil, fail("BusWidth must be non-negative, got %d", v)
+			}
+			s.BusWidth = v
+		case "totalmodules":
+			v, err := needInt("TotalModules")
+			if err != nil {
+				return nil, err
+			}
+			total = v
+		case "module":
+			v, err := needInt("Module")
+			if err != nil {
+				return nil, err
+			}
+			cur = &Core{ID: v}
+			curTest = nil
+			if v == 0 {
+				s.Top = cur
+			} else {
+				s.CoreList = append(s.CoreList, cur)
+			}
+		case "totaltests":
+			if cur == nil {
+				return nil, fail("TotalTests outside a Module block")
+			}
+			v, err := needInt("TotalTests")
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 {
+				return nil, fail("TotalTests must be non-negative, got %d", v)
+			}
+			declaredTests[cur] = v
+		case "test":
+			if cur == nil {
+				return nil, fail("Test outside a Module block")
+			}
+			if _, err := needInt("Test"); err != nil {
+				return nil, err
+			}
+			cur.Tests = append(cur.Tests, CoreTest{})
+			curTest = &cur.Tests[len(cur.Tests)-1]
+		case "scanuse", "tamuse":
+			if curTest == nil {
+				return nil, fail("%s outside a Test block", fields[0])
+			}
+			v, err := needInt(fields[0])
+			if err != nil {
+				return nil, err
+			}
+			if v != 0 && v != 1 {
+				return nil, fail("%s must be 0 or 1, got %d", fields[0], v)
+			}
+			if key == "scanuse" {
+				curTest.ScanUse = v == 1
+			} else {
+				curTest.TamUse = v == 1
+			}
+		case "name":
+			if cur == nil {
+				return nil, fail("Name outside a Module block")
+			}
+			if len(args) != 1 {
+				return nil, fail("Name expects one argument")
+			}
+			cur.Name = args[0]
+		case "inputs", "outputs", "bidirs", "patterns":
+			if cur == nil {
+				return nil, fail("%s outside a Module block", fields[0])
+			}
+			v, err := needInt(fields[0])
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 {
+				return nil, fail("%s must be non-negative, got %d", fields[0], v)
+			}
+			switch key {
+			case "inputs":
+				cur.Inputs = v
+			case "outputs":
+				cur.Outputs = v
+			case "bidirs":
+				cur.Bidirs = v
+			case "patterns":
+				if curTest != nil {
+					// Inside a Test block the count belongs to the
+					// test; the core total accumulates.
+					curTest.Patterns = v
+					cur.Patterns += v
+				} else {
+					cur.Patterns = v
+				}
+			}
+		case "scanchains":
+			if cur == nil {
+				return nil, fail("ScanChains outside a Module block")
+			}
+			// Format: ScanChains n : l1 l2 ... ln
+			if len(args) < 2 || args[1] != ":" {
+				return nil, fail("ScanChains expects \"n : l1 ... ln\"")
+			}
+			n, err := strconv.Atoi(args[0])
+			if err != nil || n < 0 {
+				return nil, fail("ScanChains: bad chain count %q", args[0])
+			}
+			lens := args[2:]
+			if len(lens) != n {
+				return nil, fail("ScanChains: declared %d chains but listed %d lengths", n, len(lens))
+			}
+			cur.ScanChains = make([]int, n)
+			for i, ls := range lens {
+				l, err := strconv.Atoi(ls)
+				if err != nil || l <= 0 {
+					return nil, fail("ScanChains: bad chain length %q", ls)
+				}
+				cur.ScanChains[i] = l
+			}
+		default:
+			return nil, fail("unknown key %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("soc parse: %w", err)
+	}
+	if total >= 0 {
+		got := len(s.CoreList)
+		if s.Top != nil {
+			got++
+		}
+		if got != total {
+			return nil, fmt.Errorf("soc parse: TotalModules %d but %d Module blocks found", total, got)
+		}
+	}
+	for c, want := range declaredTests {
+		if len(c.Tests) != want {
+			return nil, fmt.Errorf("soc parse: module %d declares TotalTests %d but has %d Test blocks", c.ID, want, len(c.Tests))
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DefaultBusWidth is the shared-bus width assumed when a .soc file does
+// not specify one; the paper's experiments use a 32-bit functional bus.
+const DefaultBusWidth = 32
+
+// ParseString parses a .soc description held in a string.
+func ParseString(text string) (*SOC, error) {
+	return Parse(strings.NewReader(text))
+}
+
+// Write serializes the SOC in the .soc format accepted by Parse.
+func Write(w io.Writer, s *SOC) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "SocName %s\n", s.Name)
+	fmt.Fprintf(bw, "BusWidth %d\n", s.BusWidth)
+	total := len(s.CoreList)
+	if s.Top != nil {
+		total++
+	}
+	fmt.Fprintf(bw, "TotalModules %d\n", total)
+	writeCore := func(c *Core) {
+		fmt.Fprintf(bw, "\nModule %d\n", c.ID)
+		if c.Name != "" {
+			fmt.Fprintf(bw, "  Name %s\n", c.Name)
+		}
+		fmt.Fprintf(bw, "  Inputs %d\n  Outputs %d\n  Bidirs %d\n", c.Inputs, c.Outputs, c.Bidirs)
+		if len(c.ScanChains) > 0 {
+			fmt.Fprintf(bw, "  ScanChains %d :", len(c.ScanChains))
+			for _, l := range c.ScanChains {
+				fmt.Fprintf(bw, " %d", l)
+			}
+			fmt.Fprintln(bw)
+		}
+		if c.Patterns > 0 {
+			fmt.Fprintf(bw, "  Patterns %d\n", c.Patterns)
+		}
+	}
+	if s.Top != nil {
+		writeCore(s.Top)
+	}
+	for _, c := range s.CoreList {
+		writeCore(c)
+	}
+	return bw.Flush()
+}

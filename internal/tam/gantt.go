@@ -1,0 +1,60 @@
+package tam
+
+import (
+	"fmt"
+	"strings"
+)
+
+// InTestGantt renders the internal-test phase of the architecture as an
+// ASCII chart: one row per rail, the cores of each rail drawn serially
+// in proportion to their InTest time at the rail width, across `cols`
+// character cells scaled to the SOC InTest time. Idle time (rails that
+// finish before the bottleneck rail) is '.'. Each core gets a letter in
+// row order; the legend maps letters to core IDs and times.
+func (a *Architecture) InTestGantt(cols int) string {
+	if cols < 10 {
+		cols = 10
+	}
+	total := a.InTestTime()
+	if total <= 0 || len(a.Rails) == 0 {
+		return "(empty InTest schedule)\n"
+	}
+	scale := float64(cols) / float64(total)
+	var b, legend strings.Builder
+	fmt.Fprintf(&b, "InTest schedule Gantt, 0 .. %d cc\n", total)
+	letter := byte('A')
+	nextLetter := func() byte {
+		l := letter
+		if letter < 'z' {
+			letter++
+			if letter == '[' { // skip the punctuation between Z and a
+				letter = 'a'
+			}
+		}
+		return l
+	}
+	for i, r := range a.Rails {
+		row := []byte(strings.Repeat(".", cols))
+		var t int64
+		for _, id := range r.Cores {
+			ct := a.Times.Time(id, r.Width)
+			from := int(float64(t) * scale)
+			to := int(float64(t+ct) * scale)
+			if to <= from {
+				to = from + 1
+			}
+			if to > cols {
+				to = cols
+			}
+			l := nextLetter()
+			for c := from; c < to; c++ {
+				row[c] = l
+			}
+			fmt.Fprintf(&legend, "  %c = core %d on TAM%d (%d cc at width %d)\n", l, id, i+1, ct, r.Width)
+			t += ct
+		}
+		fmt.Fprintf(&b, "  TAM%-2d |%s|\n", i+1, row)
+	}
+	b.WriteString(legend.String())
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package tam
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInTestGantt(t *testing.T) {
+	s, tt := testSOC(t)
+	a := New(s, tt)
+	a.AddRail([]int{1, 2}, 2)
+	a.AddRail([]int{3}, 1)
+	out := a.InTestGantt(50)
+	if !strings.Contains(out, "TAM1") || !strings.Contains(out, "TAM2") {
+		t.Fatalf("missing rails:\n%s", out)
+	}
+	for _, want := range []string{"core 1", "core 2", "core 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("legend missing %q:\n%s", want, out)
+		}
+	}
+	// The first rail's row must start with core 1's letter 'A' and the
+	// bottleneck rail must have no trailing idle dots.
+	lines := strings.Split(out, "\n")
+	row1 := lines[1][strings.Index(lines[1], "|")+1:]
+	if row1[0] != 'A' {
+		t.Errorf("row 1 starts with %q, want A", row1[0])
+	}
+	bottleneck := 0
+	if a.Rails[1].TimeIn > a.Rails[0].TimeIn {
+		bottleneck = 1
+	}
+	rowB := lines[1+bottleneck]
+	bar := rowB[strings.Index(rowB, "|")+1 : strings.LastIndex(rowB, "|")]
+	if strings.HasSuffix(bar, ".") {
+		t.Errorf("bottleneck rail shows idle tail: %q", bar)
+	}
+}
+
+func TestInTestGanttEmpty(t *testing.T) {
+	s, tt := testSOC(t)
+	a := New(s, tt)
+	if out := a.InTestGantt(40); !strings.Contains(out, "empty") {
+		t.Errorf("empty Gantt = %q", out)
+	}
+}
+
+func TestInTestGanttManyCores(t *testing.T) {
+	// More cores than letters between A and Z must not panic and must
+	// continue into lowercase.
+	s, tt := testSOC(t)
+	a := New(s, tt)
+	var ids []int
+	for _, c := range s.Cores() {
+		ids = append(ids, c.ID)
+	}
+	for i := 0; i < 12; i++ {
+		a.AddRail(ids[:1], 1)
+	}
+	_ = a.InTestGantt(40) // smoke: must not panic
+}

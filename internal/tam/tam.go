@@ -1,0 +1,187 @@
+// Package tam models TestRail test access mechanism (TAM) architectures
+// for core-based SOCs: a partition of the SOC's cores over a set of rails,
+// each rail with its own wire width.
+//
+// On a TestRail (Marinissen et al., ITC 1998) the cores assigned to one
+// rail are daisychained and tested serially in InTest mode, so the rail's
+// internal test time is the sum of its cores' wrapper test times at the
+// rail width, and the SOC internal test time is the maximum over rails.
+// Unlike the multiplexed Test Bus architecture, a TestRail allows the
+// boundary cells of all its cores to be accessed concurrently, which is
+// what makes parallel external (interconnect) testing possible — the
+// property the paper's SI test scheduling relies on.
+//
+// The Rail type carries the bookkeeping fields of the paper's Fig. 4 data
+// structure: TimeIn (internal testing time), TimeSI (utilized SI testing
+// time) and TimeUsed (their sum), which the optimization algorithms use
+// to rank rails.
+package tam
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sitam/internal/soc"
+	"sitam/internal/wrapper"
+)
+
+// Rail is one TestRail: a set of cores daisychained on Width TAM wires.
+type Rail struct {
+	// Cores holds the IDs of the cores on this rail, in ascending order.
+	Cores []int
+
+	// Width is the number of TAM wires of the rail.
+	Width int
+
+	// TimeIn is the rail's InTest time: the sum over its cores of the
+	// core InTest time at the rail width (cores on a rail test
+	// serially).
+	TimeIn int64
+
+	// TimeSI is the SI testing time utilized on this rail, as computed
+	// by the most recent SI schedule (sum over SI groups of the rail's
+	// busy time in that group).
+	TimeSI int64
+}
+
+// TimeUsed returns the rail's total utilized testing time, the ranking
+// key of the paper's optimization loops.
+func (r *Rail) TimeUsed() int64 { return r.TimeIn + r.TimeSI }
+
+// Has reports whether the rail hosts the given core.
+func (r *Rail) Has(coreID int) bool {
+	i := sort.SearchInts(r.Cores, coreID)
+	return i < len(r.Cores) && r.Cores[i] == coreID
+}
+
+// Clone returns a deep copy of the rail.
+func (r *Rail) Clone() *Rail {
+	c := *r
+	c.Cores = append([]int(nil), r.Cores...)
+	return &c
+}
+
+// String implements fmt.Stringer.
+func (r *Rail) String() string {
+	ids := make([]string, len(r.Cores))
+	for i, id := range r.Cores {
+		ids[i] = fmt.Sprint(id)
+	}
+	return fmt.Sprintf("rail(w=%d cores=[%s] tIn=%d tSI=%d)", r.Width, strings.Join(ids, " "), r.TimeIn, r.TimeSI)
+}
+
+// Architecture is a complete TestRail architecture for an SOC: a set of
+// rails partitioning the SOC's cores.
+type Architecture struct {
+	SOC   *soc.SOC
+	Rails []*Rail
+
+	// Times caches per-core InTest times by width; all rails of one
+	// architecture share it.
+	Times *wrapper.TimeTable
+}
+
+// New builds an architecture over s with no rails yet. The time table
+// must cover every width the caller will use.
+func New(s *soc.SOC, times *wrapper.TimeTable) *Architecture {
+	return &Architecture{SOC: s, Times: times}
+}
+
+// AddRail appends a rail hosting the given cores at the given width and
+// refreshes its InTest time. The core ID slice is copied and sorted.
+func (a *Architecture) AddRail(coreIDs []int, width int) *Rail {
+	r := &Rail{Cores: append([]int(nil), coreIDs...), Width: width}
+	sort.Ints(r.Cores)
+	a.RefreshTimeIn(r)
+	a.Rails = append(a.Rails, r)
+	return r
+}
+
+// RefreshTimeIn recomputes r.TimeIn from the architecture's time table.
+func (a *Architecture) RefreshTimeIn(r *Rail) {
+	var sum int64
+	for _, id := range r.Cores {
+		sum += a.Times.Time(id, r.Width)
+	}
+	r.TimeIn = sum
+}
+
+// TotalWidth returns the sum of all rail widths.
+func (a *Architecture) TotalWidth() int {
+	w := 0
+	for _, r := range a.Rails {
+		w += r.Width
+	}
+	return w
+}
+
+// InTestTime returns the SOC internal test time: the maximum rail InTest
+// time (rails test their cores concurrently with one another, serially
+// within the rail).
+func (a *Architecture) InTestTime() int64 {
+	var mx int64
+	for _, r := range a.Rails {
+		if r.TimeIn > mx {
+			mx = r.TimeIn
+		}
+	}
+	return mx
+}
+
+// RailOf returns the index of the rail hosting coreID, or -1.
+func (a *Architecture) RailOf(coreID int) int {
+	for i, r := range a.Rails {
+		if r.Has(coreID) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone returns a deep copy of the architecture (sharing the immutable
+// SOC and time table).
+func (a *Architecture) Clone() *Architecture {
+	c := &Architecture{SOC: a.SOC, Times: a.Times, Rails: make([]*Rail, len(a.Rails))}
+	for i, r := range a.Rails {
+		c.Rails[i] = r.Clone()
+	}
+	return c
+}
+
+// Validate checks that the rails form a partition of the SOC's cores and
+// that every rail has positive width.
+func (a *Architecture) Validate() error {
+	seen := make(map[int]int) // core ID -> rail index
+	for i, r := range a.Rails {
+		if r.Width < 1 {
+			return fmt.Errorf("tam: rail %d has width %d", i, r.Width)
+		}
+		if len(r.Cores) == 0 {
+			return fmt.Errorf("tam: rail %d is empty", i)
+		}
+		for _, id := range r.Cores {
+			if a.SOC.CoreByID(id) == nil {
+				return fmt.Errorf("tam: rail %d hosts unknown core %d", i, id)
+			}
+			if j, dup := seen[id]; dup {
+				return fmt.Errorf("tam: core %d on both rail %d and rail %d", id, j, i)
+			}
+			seen[id] = i
+		}
+	}
+	if len(seen) != a.SOC.NumCores() {
+		return fmt.Errorf("tam: %d of %d cores assigned to rails", len(seen), a.SOC.NumCores())
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (a *Architecture) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "architecture: %d rails, total width %d, T_in=%d\n", len(a.Rails), a.TotalWidth(), a.InTestTime())
+	for i, r := range a.Rails {
+		fmt.Fprintf(&b, "  TAM%d %s\n", i+1, r)
+	}
+	return b.String()
+}

@@ -1,0 +1,155 @@
+package tam
+
+import (
+	"strings"
+	"testing"
+
+	"sitam/internal/soc"
+	"sitam/internal/wrapper"
+)
+
+func testSOC(t *testing.T) (*soc.SOC, *wrapper.TimeTable) {
+	t.Helper()
+	s := &soc.SOC{
+		Name:     "t",
+		BusWidth: 8,
+		CoreList: []*soc.Core{
+			{ID: 1, Inputs: 4, Outputs: 4, ScanChains: []int{10, 10}, Patterns: 10},
+			{ID: 2, Inputs: 2, Outputs: 6, ScanChains: []int{20}, Patterns: 5},
+			{ID: 3, Inputs: 3, Outputs: 3, Patterns: 50},
+		},
+	}
+	tt, err := wrapper.NewTimeTable(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tt
+}
+
+func TestAddRailComputesTime(t *testing.T) {
+	s, tt := testSOC(t)
+	a := New(s, tt)
+	r := a.AddRail([]int{2, 1}, 2)
+	if len(r.Cores) != 2 || r.Cores[0] != 1 || r.Cores[1] != 2 {
+		t.Errorf("Cores = %v, want sorted [1 2]", r.Cores)
+	}
+	want := tt.Time(1, 2) + tt.Time(2, 2)
+	if r.TimeIn != want {
+		t.Errorf("TimeIn = %d, want %d", r.TimeIn, want)
+	}
+	if r.TimeUsed() != r.TimeIn {
+		t.Errorf("TimeUsed = %d with zero SI", r.TimeUsed())
+	}
+}
+
+func TestInTestTimeIsMaxOverRails(t *testing.T) {
+	s, tt := testSOC(t)
+	a := New(s, tt)
+	r1 := a.AddRail([]int{1}, 2)
+	r2 := a.AddRail([]int{2, 3}, 3)
+	want := r1.TimeIn
+	if r2.TimeIn > want {
+		want = r2.TimeIn
+	}
+	if got := a.InTestTime(); got != want {
+		t.Errorf("InTestTime = %d, want %d", got, want)
+	}
+	if a.TotalWidth() != 5 {
+		t.Errorf("TotalWidth = %d", a.TotalWidth())
+	}
+}
+
+func TestRailHasAndRailOf(t *testing.T) {
+	s, tt := testSOC(t)
+	a := New(s, tt)
+	a.AddRail([]int{1, 3}, 1)
+	a.AddRail([]int{2}, 1)
+	if a.RailOf(3) != 0 || a.RailOf(2) != 1 {
+		t.Errorf("RailOf wrong: %d %d", a.RailOf(3), a.RailOf(2))
+	}
+	if a.RailOf(99) != -1 {
+		t.Error("RailOf(99) should be -1")
+	}
+	if !a.Rails[0].Has(1) || a.Rails[0].Has(2) {
+		t.Error("Has wrong")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s, tt := testSOC(t)
+	a := New(s, tt)
+	a.AddRail([]int{1, 2}, 2)
+	c := a.Clone()
+	c.Rails[0].Cores[0] = 3
+	c.Rails[0].Width = 7
+	if a.Rails[0].Cores[0] != 1 || a.Rails[0].Width != 2 {
+		t.Error("Clone shares rail state")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s, tt := testSOC(t)
+
+	valid := New(s, tt)
+	valid.AddRail([]int{1, 2}, 2)
+	valid.AddRail([]int{3}, 1)
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid architecture rejected: %v", err)
+	}
+
+	missing := New(s, tt)
+	missing.AddRail([]int{1, 2}, 2)
+	if err := missing.Validate(); err == nil {
+		t.Error("accepted architecture missing core 3")
+	}
+
+	dup := New(s, tt)
+	dup.AddRail([]int{1, 2}, 2)
+	dup.AddRail([]int{2, 3}, 1)
+	if err := dup.Validate(); err == nil {
+		t.Error("accepted core on two rails")
+	}
+
+	unknown := New(s, tt)
+	unknown.Rails = append(unknown.Rails, &Rail{Cores: []int{1, 2, 3, 9}, Width: 2})
+	if err := unknown.Validate(); err == nil {
+		t.Error("accepted unknown core")
+	}
+
+	zeroW := New(s, tt)
+	zeroW.Rails = append(zeroW.Rails, &Rail{Cores: []int{1, 2, 3}, Width: 0})
+	if err := zeroW.Validate(); err == nil {
+		t.Error("accepted zero-width rail")
+	}
+
+	empty := New(s, tt)
+	empty.AddRail([]int{1, 2, 3}, 1)
+	empty.Rails = append(empty.Rails, &Rail{Width: 1})
+	if err := empty.Validate(); err == nil {
+		t.Error("accepted empty rail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s, tt := testSOC(t)
+	a := New(s, tt)
+	a.AddRail([]int{1, 2}, 2)
+	a.AddRail([]int{3}, 1)
+	out := a.String()
+	if !strings.Contains(out, "TAM1") || !strings.Contains(out, "TAM2") || !strings.Contains(out, "total width 3") {
+		t.Errorf("String() = %q", out)
+	}
+	if !strings.Contains(a.Rails[0].String(), "cores=[1 2]") {
+		t.Errorf("Rail.String() = %q", a.Rails[0].String())
+	}
+}
+
+func TestWiderRailNoSlowerInTest(t *testing.T) {
+	s, tt := testSOC(t)
+	a := New(s, tt)
+	narrow := a.AddRail([]int{1, 2, 3}, 1)
+	wide := a.AddRail([]int{1, 2, 3}, 8) // structurally invalid, fine for time math
+	if wide.TimeIn > narrow.TimeIn {
+		t.Errorf("wider rail slower: %d > %d", wide.TimeIn, narrow.TimeIn)
+	}
+}

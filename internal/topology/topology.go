@@ -1,0 +1,332 @@
+// Package topology models core-external interconnect netlists of an SOC
+// (the arbitrary topologies of the paper's Fig. 1): point-to-point nets
+// and shared-bus nets between core terminals, together with the
+// crosstalk coupling neighborhoods that determine which nets aggress
+// which victims.
+//
+// From a topology, deterministic test sets for the two fault models of
+// Section 2 can be synthesized: the maximal-aggressor (MA) model of
+// Cuviello et al. (6 vector pairs per victim, all neighborhood nets
+// acting as aggressors in unison) and the reduced multiple-transition
+// (MT) model of Tehranipour et al. (every aggressor transition
+// combination within a locality window of k nets on each side,
+// N·2^(2k+2) patterns). The generated patterns feed the same compaction
+// and scheduling pipeline as the randomized generator in package
+// sifault.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sitam/internal/sifault"
+	"sitam/internal/soc"
+)
+
+// Terminal identifies one wrapper output cell: output terminal Index of
+// core Core.
+type Terminal struct {
+	Core  int
+	Index int
+}
+
+// Net is one core-external interconnect: a driving terminal, one or
+// more receiving cores, and optionally a shared bus line it is routed
+// over.
+type Net struct {
+	// Driver is the WOC launching transitions onto the net.
+	Driver Terminal
+
+	// ReceiverCores lists the cores whose inputs the net fans out to.
+	ReceiverCores []int
+
+	// BusLine is the shared functional bus line the net occupies, or
+	// -1 for dedicated point-to-point routing.
+	BusLine int
+
+	// Track is the net's position in the routing channel; nets with
+	// nearby tracks couple capacitively and aggress one another.
+	Track int
+}
+
+// Topology is an SOC interconnect netlist.
+type Topology struct {
+	SOC  *soc.SOC
+	Nets []Net
+}
+
+// Validate reports the first structural problem, if any.
+func (t *Topology) Validate() error {
+	if len(t.Nets) == 0 {
+		return fmt.Errorf("topology: no nets")
+	}
+	seen := make(map[Terminal]bool, len(t.Nets))
+	for i, n := range t.Nets {
+		c := t.SOC.CoreByID(n.Driver.Core)
+		if c == nil {
+			return fmt.Errorf("topology: net %d driven by unknown core %d", i, n.Driver.Core)
+		}
+		if n.Driver.Index < 0 || n.Driver.Index >= c.WOC() {
+			return fmt.Errorf("topology: net %d driver index %d outside core %d's %d WOCs",
+				i, n.Driver.Index, n.Driver.Core, c.WOC())
+		}
+		if seen[n.Driver] {
+			return fmt.Errorf("topology: terminal %v drives two nets", n.Driver)
+		}
+		seen[n.Driver] = true
+		if len(n.ReceiverCores) == 0 {
+			return fmt.Errorf("topology: net %d has no receivers", i)
+		}
+		for _, rc := range n.ReceiverCores {
+			if t.SOC.CoreByID(rc) == nil {
+				return fmt.Errorf("topology: net %d received by unknown core %d", i, rc)
+			}
+		}
+		if n.BusLine >= t.SOC.BusWidth {
+			return fmt.Errorf("topology: net %d on bus line %d of a %d-bit bus", i, n.BusLine, t.SOC.BusWidth)
+		}
+	}
+	return nil
+}
+
+// Neighbors returns the indices of the nets within the locality window
+// k of net i: the nets whose Track differs by at most k, excluding i
+// itself. These are i's aggressor candidates.
+func (t *Topology) Neighbors(i, k int) []int {
+	var out []int
+	ti := t.Nets[i].Track
+	for j, n := range t.Nets {
+		if j == i {
+			continue
+		}
+		d := n.Track - ti
+		if d < 0 {
+			d = -d
+		}
+		if d <= k {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// RandomConfig parameterizes Random.
+type RandomConfig struct {
+	// FanOut is how many other cores each core sends data to (the
+	// Section 2 example uses 2).
+	FanOut int
+
+	// Width is the number of nets per core-to-core connection (the
+	// Section 2 example connects cores over a 32-bit bus).
+	Width int
+
+	// BusFraction is the fraction of connections routed over the
+	// shared bus rather than point-to-point.
+	BusFraction float64
+}
+
+// Random builds a random but structurally plausible topology: every
+// core sends Width-bit data to FanOut other cores; connections are
+// assigned consecutive routing tracks, so each net's neighborhood is
+// dominated by its own bundle plus the bundles routed beside it.
+func Random(s *soc.SOC, cfg RandomConfig, seed int64) (*Topology, error) {
+	if cfg.FanOut < 1 || cfg.Width < 1 {
+		return nil, fmt.Errorf("topology: FanOut and Width must be >= 1, got %d and %d", cfg.FanOut, cfg.Width)
+	}
+	if s.NumCores() < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 cores")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	topo := &Topology{SOC: s}
+	track := 0
+	nextFree := make(map[int]int, s.NumCores()) // core ID -> next unused WOC index
+	for _, src := range s.Cores() {
+		for f := 0; f < cfg.FanOut; f++ {
+			// Pick a destination core other than src.
+			others := make([]int, 0, s.NumCores()-1)
+			for _, c := range s.Cores() {
+				if c.ID != src.ID {
+					others = append(others, c.ID)
+				}
+			}
+			dst := others[rng.Intn(len(others))]
+			onBus := rng.Float64() < cfg.BusFraction && s.BusWidth > 0
+			for b := 0; b < cfg.Width; b++ {
+				idx := nextFree[src.ID]
+				if idx >= src.WOC() {
+					break // core out of output terminals; connection truncated
+				}
+				nextFree[src.ID]++
+				line := -1
+				if onBus {
+					line = b % s.BusWidth
+				}
+				topo.Nets = append(topo.Nets, Net{
+					Driver:        Terminal{Core: src.ID, Index: idx},
+					ReceiverCores: []int{dst},
+					BusLine:       line,
+					Track:         track,
+				})
+				track++
+			}
+		}
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	return topo, nil
+}
+
+// position maps a terminal to its global WOC position.
+func position(sp *sifault.Space, t Terminal) int32 {
+	start, n := sp.Range(t.Core)
+	if t.Index >= n {
+		panic(fmt.Sprintf("topology: terminal %v outside core range", t))
+	}
+	return int32(start + t.Index)
+}
+
+// maKinds mirrors the six MA fault types (see package sifault).
+var maKinds = [6]struct{ victim, aggressor sifault.Symbol }{
+	{sifault.Zero, sifault.Rise},
+	{sifault.One, sifault.Fall},
+	{sifault.Rise, sifault.Fall},
+	{sifault.Fall, sifault.Rise},
+	{sifault.Rise, sifault.Rise},
+	{sifault.Fall, sifault.Fall},
+}
+
+// MAPatterns synthesizes the maximal-aggressor test set for the
+// topology with locality window k: for every net (victim), six vector
+// pairs in which every neighborhood net transitions in unison. The
+// returned pattern count is exactly 6·len(Nets).
+func MAPatterns(t *Topology, k int) ([]*sifault.Pattern, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	sp := sifault.NewSpace(t.SOC)
+	patterns := make([]*sifault.Pattern, 0, 6*len(t.Nets))
+	for i, victim := range t.Nets {
+		vPos := position(sp, victim.Driver)
+		neighbors := t.Neighbors(i, k)
+		for _, kind := range maKinds {
+			p := &sifault.Pattern{
+				VictimPos:  vPos,
+				VictimCore: int32(victim.Driver.Core),
+				Weight:     1,
+			}
+			set := map[int32]sifault.Symbol{vPos: kind.victim}
+			for _, j := range neighbors {
+				aPos := position(sp, t.Nets[j].Driver)
+				if _, taken := set[aPos]; !taken {
+					set[aPos] = kind.aggressor
+				}
+			}
+			p.Care = caresFromMap(set)
+			p.Bus = busFromNets(t, append(neighbors, i))
+			patterns = append(patterns, p)
+		}
+	}
+	return patterns, nil
+}
+
+// ReducedMTPatterns synthesizes the reduced multiple-transition test
+// set with locality factor k: for every net, every combination of
+// {rise, fall} transitions on the up-to-2k neighborhood nets, crossed
+// with the four victim states {0, 1, rise, fall} — bounded by
+// N·2^(2k+2) patterns in total, exactly matching the model's count when
+// every net has a full window. maxPatterns caps the output (0 = no
+// cap); generation stops once the cap is reached.
+func ReducedMTPatterns(t *Topology, k int, maxPatterns int) ([]*sifault.Pattern, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 0 || k > 14 {
+		return nil, fmt.Errorf("topology: locality factor k=%d out of range [0,14]", k)
+	}
+	sp := sifault.NewSpace(t.SOC)
+	var patterns []*sifault.Pattern
+	victimStates := []sifault.Symbol{sifault.Zero, sifault.One, sifault.Rise, sifault.Fall}
+	for i, victim := range t.Nets {
+		vPos := position(sp, victim.Driver)
+		neighbors := t.Neighbors(i, k)
+		if len(neighbors) > 2*k {
+			neighbors = neighbors[:2*k]
+		}
+		for _, vSym := range victimStates {
+			for mask := 0; mask < 1<<len(neighbors); mask++ {
+				set := map[int32]sifault.Symbol{vPos: vSym}
+				for bi, j := range neighbors {
+					sym := sifault.Rise
+					if mask&(1<<bi) != 0 {
+						sym = sifault.Fall
+					}
+					aPos := position(sp, t.Nets[j].Driver)
+					if _, taken := set[aPos]; !taken {
+						set[aPos] = sym
+					}
+				}
+				p := &sifault.Pattern{
+					VictimPos:  vPos,
+					VictimCore: int32(victim.Driver.Core),
+					Weight:     1,
+					Care:       caresFromMap(set),
+					Bus:        busFromNets(t, append(append([]int(nil), neighbors...), i)),
+				}
+				patterns = append(patterns, p)
+				if maxPatterns > 0 && len(patterns) >= maxPatterns {
+					return patterns, nil
+				}
+			}
+		}
+	}
+	return patterns, nil
+}
+
+func caresFromMap(set map[int32]sifault.Symbol) []sifault.Care {
+	care := make([]sifault.Care, 0, len(set))
+	for pos, sym := range set {
+		care = append(care, sifault.Care{Pos: pos, Sym: sym})
+	}
+	sortCares(care)
+	return care
+}
+
+func sortCares(care []sifault.Care) {
+	for i := 1; i < len(care); i++ {
+		for j := i; j > 0 && care[j].Pos < care[j-1].Pos; j-- {
+			care[j], care[j-1] = care[j-1], care[j]
+		}
+	}
+}
+
+// busFromNets collects the bus lines occupied by the given nets, each
+// attributed to its driving core. Nets sharing a bus line from
+// different cores keep the first driver: within one pattern the line is
+// physically driven once.
+func busFromNets(t *Topology, netIdx []int) []sifault.BusUse {
+	byLine := map[int32]int32{}
+	for _, i := range netIdx {
+		n := t.Nets[i]
+		if n.BusLine < 0 {
+			continue
+		}
+		line := int32(n.BusLine)
+		if _, ok := byLine[line]; !ok {
+			byLine[line] = int32(n.Driver.Core)
+		}
+	}
+	if len(byLine) == 0 {
+		return nil
+	}
+	out := make([]sifault.BusUse, 0, len(byLine))
+	for line, driver := range byLine {
+		out = append(out, sifault.BusUse{Line: line, Driver: driver})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Line < out[j-1].Line; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Command gensoc regenerates the reconstructed p34392.soc and
+// p93791.soc benchmark files embedded by internal/soc (d695.soc is
+// hand-written). Run it from internal/soc/benchmarks, or via
+// go:generate in package soc; the output is frozen into the
+// repository.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+type core struct {
+	id, in, out, bidir int
+	chains             []int
+	patterns           int
+}
+
+// chainsFor splits total scan FFs into n chains with a deterministic
+// +-8% sawtooth variation around the mean, keeping the sum exact.
+func chainsFor(n, total int) []int {
+	if n == 0 {
+		return nil
+	}
+	mean := total / n
+	out := make([]int, n)
+	sum := 0
+	for i := 0; i < n; i++ {
+		delta := (i%5 - 2) * mean / 25 // -8%..+8% sawtooth
+		out[i] = mean + delta
+		if out[i] < 1 {
+			out[i] = 1
+		}
+		sum += out[i]
+	}
+	out[0] += total - sum
+	return out
+}
+
+// bottleneckChains builds a chain list with one dominant chain of length
+// `longest` and the remainder split evenly.
+func bottleneckChains(n, total, longest int) []int {
+	rest := chainsFor(n-1, total-longest)
+	return append([]int{longest}, rest...)
+}
+
+func write(name string, busWidth int, topIn, topOut int, cores []core) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Reconstructed ITC'02-style benchmark %s.\n", name)
+	fmt.Fprintf(&b, "# The original ITC'02 distribution is not redistributable here; this file\n")
+	fmt.Fprintf(&b, "# reproduces the module count and qualitative test-volume structure used\n")
+	fmt.Fprintf(&b, "# by the DAC'07 experiments (see DESIGN.md, Substitutions).\n")
+	fmt.Fprintf(&b, "SocName %s\nBusWidth %d\nTotalModules %d\n", name, busWidth, len(cores)+1)
+	fmt.Fprintf(&b, "\nModule 0\n  Name top\n  Inputs %d\n  Outputs %d\n  Bidirs 0\n", topIn, topOut)
+	for _, c := range cores {
+		fmt.Fprintf(&b, "\nModule %d\n  Inputs %d\n  Outputs %d\n  Bidirs %d\n", c.id, c.in, c.out, c.bidir)
+		if len(c.chains) > 0 {
+			fmt.Fprintf(&b, "  ScanChains %d :", len(c.chains))
+			for _, l := range c.chains {
+				fmt.Fprintf(&b, " %d", l)
+			}
+			fmt.Fprintln(&b)
+		}
+		fmt.Fprintf(&b, "  Patterns %d\n", c.patterns)
+	}
+	if err := os.WriteFile(name+".soc", []byte(b.String()), 0o644); err != nil {
+		panic(err)
+	}
+}
+
+func main() {
+	p34392 := []core{
+		{1, 60, 40, 0, chainsFor(8, 2000), 420},
+		{2, 100, 60, 0, chainsFor(10, 1800), 300},
+		{3, 32, 32, 0, nil, 2000},
+		{4, 54, 30, 0, chainsFor(6, 900), 526},
+		{5, 80, 50, 0, chainsFor(12, 1440), 400},
+		{6, 36, 36, 0, chainsFor(4, 400), 900},
+		{7, 40, 23, 0, chainsFor(5, 1000), 700},
+		{8, 64, 64, 0, nil, 4000},
+		{9, 28, 17, 0, chainsFor(3, 270), 380},
+		{10, 70, 40, 0, chainsFor(16, 4000), 250},
+		{11, 90, 60, 0, chainsFor(20, 6000), 180},
+		{12, 44, 35, 0, chainsFor(9, 1440), 520},
+		{13, 24, 16, 0, chainsFor(2, 120), 150},
+		{14, 50, 30, 0, chainsFor(7, 980), 640},
+		{15, 100, 72, 0, chainsFor(14, 3080), 320},
+		{16, 30, 20, 0, nil, 1200},
+		{17, 66, 48, 0, chainsFor(11, 1430), 460},
+		// Module 18 is the bottleneck core: one 800-FF chain bounds its
+		// test time from below at ~680*801 cc regardless of TAM width.
+		{18, 120, 72, 0, bottleneckChains(29, 8700, 800), 680},
+		{19, 38, 26, 0, chainsFor(5, 550), 310},
+	}
+	write("p34392", 32, 43, 23, p34392)
+
+	p93791 := []core{
+		{1, 109, 32, 0, chainsFor(16, 4000), 409},
+		{2, 60, 40, 0, chainsFor(8, 2000), 192},
+		{3, 50, 50, 0, chainsFor(13, 2600), 216},
+		{4, 40, 30, 0, chainsFor(10, 1500), 500},
+		{5, 70, 106, 0, nil, 2048},
+		{6, 84, 64, 0, bottleneckChains(23, 14000, 650), 218},
+		{7, 36, 23, 0, chainsFor(12, 3000), 450},
+		{8, 44, 35, 0, chainsFor(11, 2200), 330},
+		{9, 60, 45, 0, chainsFor(9, 1800), 120},
+		{10, 80, 64, 0, chainsFor(15, 4500), 601},
+		{11, 90, 72, 0, chainsFor(20, 5000), 350},
+		{12, 30, 20, 0, chainsFor(6, 1200), 760},
+		{13, 100, 80, 0, chainsFor(24, 6000), 160},
+		{14, 64, 64, 0, nil, 1024},
+		{15, 56, 42, 0, chainsFor(12, 3600), 280},
+		{16, 48, 36, 0, chainsFor(10, 2400), 95},
+		{17, 72, 60, 0, chainsFor(16, 5200), 420},
+		{18, 40, 32, 0, chainsFor(14, 2800), 230},
+		{19, 28, 20, 0, chainsFor(8, 1700), 520},
+		{20, 52, 38, 0, chainsFor(10, 2500), 680},
+		{21, 66, 50, 0, chainsFor(14, 4200), 140},
+		{22, 58, 44, 0, chainsFor(11, 3300), 310},
+		{23, 24, 18, 0, chainsFor(5, 900), 850},
+		{24, 50, 78, 0, nil, 3000},
+		{25, 76, 58, 0, chainsFor(16, 4800), 260},
+		{26, 62, 48, 0, chainsFor(13, 3900), 180},
+		{27, 34, 26, 0, chainsFor(9, 2100), 570},
+		{28, 46, 34, 0, chainsFor(12, 2900), 390},
+		{29, 88, 70, 0, chainsFor(20, 5600), 110},
+		{30, 26, 18, 0, chainsFor(6, 1300), 475},
+		{31, 54, 40, 0, chainsFor(13, 3700), 205},
+		{32, 32, 24, 0, chainsFor(8, 1600), 640},
+	}
+	write("p93791", 32, 101, 105, p93791)
+}
