@@ -18,9 +18,25 @@
 //	groups, _ := sitam.BuildGroups(s, patterns, sitam.GroupingOptions{Parts: 4, Seed: 1})
 //	res, _ := sitam.Optimize(s, 32, groups.Groups, sitam.DefaultModel())
 //	fmt.Println(res.Breakdown.TimeSOC)
+//
+// # Cancellation, deadlines, and partial results
+//
+// Every expensive entry point has a context-aware variant (OptimizeCtx,
+// OptimizeILSCtx, BuildGroupsCtx, GeneratePatternsCtx,
+// ExactScheduleSICtx, RunTableCtx). They are anytime algorithms: when
+// the context is cancelled or its deadline expires mid-search, the best
+// valid result found so far is returned with its Partial flag set and a
+// nil error; the context's error comes back only when nothing usable
+// was produced. See the README section of the same name for details.
+//
+// # Panics
+//
+// The facade never panics: internal invariant violations are recovered
+// at the API boundary and surfaced as errors wrapping ErrInternal.
 package sitam
 
 import (
+	"context"
 	"io"
 
 	"sitam/internal/core"
@@ -43,13 +59,22 @@ type (
 )
 
 // ParseSOC reads an ITC'02-style .soc description.
-func ParseSOC(r io.Reader) (*SOC, error) { return soc.Parse(r) }
+func ParseSOC(r io.Reader) (s *SOC, err error) {
+	defer guard(&err)
+	return soc.Parse(r)
+}
 
 // WriteSOC serializes an SOC in the format ParseSOC reads.
-func WriteSOC(w io.Writer, s *SOC) error { return soc.Write(w, s) }
+func WriteSOC(w io.Writer, s *SOC) (err error) {
+	defer guard(&err)
+	return soc.Write(w, s)
+}
 
 // LoadBenchmark loads an embedded benchmark SOC ("p34392" or "p93791").
-func LoadBenchmark(name string) (*SOC, error) { return soc.LoadBenchmark(name) }
+func LoadBenchmark(name string) (s *SOC, err error) {
+	defer guard(&err)
+	return soc.LoadBenchmark(name)
+}
 
 // Benchmarks lists the embedded benchmark names.
 func Benchmarks() []string { return soc.Benchmarks() }
@@ -68,8 +93,19 @@ type (
 
 // GeneratePatterns produces random SI test patterns per the paper's
 // experimental protocol (one victim, 2-6 aggressors, shared-bus usage).
-func GeneratePatterns(s *SOC, cfg GenConfig) ([]*Pattern, error) {
+func GeneratePatterns(s *SOC, cfg GenConfig) (ps []*Pattern, err error) {
+	defer guard(&err)
 	return sifault.Generate(s, cfg)
+}
+
+// GeneratePatternsCtx is GeneratePatterns as an anytime algorithm: on
+// cancellation or deadline expiry the prefix generated so far comes
+// back with partial set and a nil error (the prefix is exactly what a
+// full run with the same seed would have produced first). The context's
+// error is returned only when no pattern was generated at all.
+func GeneratePatternsCtx(ctx context.Context, s *SOC, cfg GenConfig) (ps []*Pattern, partial bool, err error) {
+	defer guard(&err)
+	return sifault.GenerateCtx(ctx, s, cfg)
 }
 
 // NewPatternSpace builds the WOC position space of an SOC.
@@ -86,16 +122,21 @@ type (
 )
 
 // RandomTopology builds a random plausible interconnect netlist.
-func RandomTopology(s *SOC, cfg TopologyConfig, seed int64) (*Topology, error) {
+func RandomTopology(s *SOC, cfg TopologyConfig, seed int64) (t *Topology, err error) {
+	defer guard(&err)
 	return topology.Random(s, cfg, seed)
 }
 
 // MAPatterns synthesizes the maximal-aggressor test set of a topology.
-func MAPatterns(t *Topology, k int) ([]*Pattern, error) { return topology.MAPatterns(t, k) }
+func MAPatterns(t *Topology, k int) (ps []*Pattern, err error) {
+	defer guard(&err)
+	return topology.MAPatterns(t, k)
+}
 
 // ReducedMTPatterns synthesizes the reduced multiple-transition test
 // set with locality factor k, optionally capped.
-func ReducedMTPatterns(t *Topology, k, maxPatterns int) ([]*Pattern, error) {
+func ReducedMTPatterns(t *Topology, k, maxPatterns int) (ps []*Pattern, err error) {
+	defer guard(&err)
 	return topology.ReducedMTPatterns(t, k, maxPatterns)
 }
 
@@ -112,8 +153,20 @@ type (
 // BuildGroups runs the paper's two-dimensional SI test-set compaction:
 // hypergraph partitioning of the cores plus greedy clique-cover
 // compaction within each resulting group.
-func BuildGroups(s *SOC, patterns []*Pattern, opts GroupingOptions) (*GroupingResult, error) {
+func BuildGroups(s *SOC, patterns []*Pattern, opts GroupingOptions) (gr *GroupingResult, err error) {
+	defer guard(&err)
 	return core.BuildGroups(s, patterns, opts)
+}
+
+// BuildGroupsCtx is BuildGroups with graceful degradation under a done
+// context: the partitioner skips refinement and the compaction passes
+// remaining patterns through unmerged, and the result is marked Partial
+// but remains a valid, schedulable grouping covering every input
+// pattern. The context's error is returned only when it was done before
+// any work started.
+func BuildGroupsCtx(ctx context.Context, s *SOC, patterns []*Pattern, opts GroupingOptions) (gr *GroupingResult, err error) {
+	defer guard(&err)
+	return core.BuildGroupsCtx(ctx, s, patterns, opts)
 }
 
 // Scheduling and cost model.
@@ -132,24 +185,52 @@ type (
 func DefaultModel() Model { return sischedule.DefaultModel() }
 
 // ScheduleSI schedules SI test groups on an architecture (Algorithm 1)
-// and returns the schedule with T_soc_si.
-func ScheduleSI(a *Architecture, groups []*Group, m Model) (*Schedule, error) {
+// and returns the schedule with T_soc_si. Invalid architectures (e.g.
+// cores missing from every rail, non-positive rail widths) are rejected
+// with an error.
+func ScheduleSI(a *Architecture, groups []*Group, m Model) (sch *Schedule, err error) {
+	defer guard(&err)
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
 	return sischedule.ScheduleSITest(a, groups, m)
 }
 
 // ScheduleSIPower is ScheduleSI under a test power ceiling: the summed
 // boundary-cell activity of concurrently running groups never exceeds
 // budget (<= 0 means unlimited).
-func ScheduleSIPower(a *Architecture, groups []*Group, m Model, budget int64) (*Schedule, error) {
+func ScheduleSIPower(a *Architecture, groups []*Group, m Model, budget int64) (sch *Schedule, err error) {
+	defer guard(&err)
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
 	return sischedule.ScheduleSITestPower(a, groups, m, budget)
 }
 
 // ExactScheduleSI returns the provably minimal SI testing time for at
 // most sischedule.MaxExactGroups groups, via branch and bound. Used to
 // audit Algorithm 1's schedules.
-func ExactScheduleSI(a *Architecture, groups []*Group, m Model) (int64, error) {
-	t, _, err := sischedule.ExactSchedule(a, groups, m)
+func ExactScheduleSI(a *Architecture, groups []*Group, m Model) (t int64, err error) {
+	defer guard(&err)
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	t, _, err = sischedule.ExactSchedule(a, groups, m)
 	return t, err
+}
+
+// ExactScheduleSICtx is ExactScheduleSI as an anytime algorithm. On
+// cancellation or deadline expiry the best complete schedule found so
+// far is returned with partial set — a valid achievable makespan and
+// an upper bound on the optimum, never below it. The context's error
+// is returned only when no complete schedule was found.
+func ExactScheduleSICtx(ctx context.Context, a *Architecture, groups []*Group, m Model) (t int64, partial bool, err error) {
+	defer guard(&err)
+	if err := a.Validate(); err != nil {
+		return 0, false, err
+	}
+	t, _, partial, err = sischedule.ExactScheduleCtx(ctx, a, groups, m)
+	return t, partial, err
 }
 
 // Optimization.
@@ -161,26 +242,59 @@ type (
 )
 
 // Optimize runs the paper's SI-aware TAM_Optimization (Algorithm 2).
-func Optimize(s *SOC, wmax int, groups []*Group, m Model) (*Result, error) {
+func Optimize(s *SOC, wmax int, groups []*Group, m Model) (res *Result, err error) {
+	defer guard(&err)
 	return core.TAMOptimization(s, wmax, groups, m)
+}
+
+// OptimizeCtx is Optimize as an anytime algorithm: on cancellation or
+// deadline expiry mid-search the best architecture found so far is
+// evaluated and returned with Result.Partial set and a nil error. The
+// context's error comes back only when no valid architecture was
+// produced at all (the context was done before the search started, or
+// it fired while the start solution was still infeasible).
+func OptimizeCtx(ctx context.Context, s *SOC, wmax int, groups []*Group, m Model) (res *Result, err error) {
+	defer guard(&err)
+	return core.TAMOptimizationCtx(ctx, s, wmax, groups, m)
 }
 
 // OptimizeBaseline runs the SI-oblivious TR-Architect baseline and then
 // schedules the SI groups on the resulting architecture (the paper's
 // T_[8] protocol).
-func OptimizeBaseline(s *SOC, wmax int, groups []*Group, m Model) (*Result, error) {
+func OptimizeBaseline(s *SOC, wmax int, groups []*Group, m Model) (res *Result, err error) {
+	defer guard(&err)
 	return trarchitect.OptimizeThenScheduleSI(s, wmax, groups, m)
+}
+
+// OptimizeBaselineCtx is OptimizeBaseline as an anytime algorithm, with
+// the same partial-result semantics as OptimizeCtx.
+func OptimizeBaselineCtx(ctx context.Context, s *SOC, wmax int, groups []*Group, m Model) (res *Result, err error) {
+	defer guard(&err)
+	return trarchitect.OptimizeThenScheduleSICtx(ctx, s, wmax, groups, m)
 }
 
 // OptimizeILS runs the SI-aware optimization followed by the given
 // number of iterated-local-search perturbation rounds (an extension
 // beyond the paper's greedy fixed point; 0 kicks equals Optimize).
-func OptimizeILS(s *SOC, wmax int, groups []*Group, m Model, kicks int, seed int64) (*Result, error) {
+func OptimizeILS(s *SOC, wmax int, groups []*Group, m Model, kicks int, seed int64) (res *Result, err error) {
+	defer guard(&err)
+	return OptimizeILSCtx(context.Background(), s, wmax, groups, m, kicks, seed)
+}
+
+// OptimizeILSCtx is OptimizeILS as an anytime algorithm: the context is
+// checked throughout the greedy optimization and between ILS kicks, and
+// interruption mid-search returns the best architecture found so far
+// with Result.Partial set and a nil error. The best-so-far objective is
+// monotonically non-increasing, so a partial result's T_soc is never
+// below what the complete run would achieve. The context's error comes
+// back only when no valid architecture was produced.
+func OptimizeILSCtx(ctx context.Context, s *SOC, wmax int, groups []*Group, m Model, kicks int, seed int64) (res *Result, err error) {
+	defer guard(&err)
 	eng, err := core.NewEngine(s, wmax, &core.SIEvaluator{Groups: groups, Model: m})
 	if err != nil {
 		return nil, err
 	}
-	arch, _, err := eng.OptimizeILS(kicks, seed)
+	arch, _, st, err := eng.OptimizeILSCtx(ctx, kicks, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -188,19 +302,23 @@ func OptimizeILS(s *SOC, wmax int, groups []*Group, m Model, kicks int, seed int
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Architecture: arch, Breakdown: bd, Schedule: sched}, nil
+	return &Result{Architecture: arch, Breakdown: bd, Schedule: sched, Partial: st.Partial, Reason: st.Reason}, nil
 }
 
 // InTestLowerBound returns the Goel-Marinissen lower bound on the
 // achievable SOC internal test time at the given total TAM width.
-func InTestLowerBound(s *SOC, wmax int) (int64, error) {
+func InTestLowerBound(s *SOC, wmax int) (t int64, err error) {
+	defer guard(&err)
 	return trarchitect.LowerBound(s, wmax)
 }
 
 // InTestTime returns the InTest application time of one core at a TAM
 // width, using Best Fit Decreasing wrapper design (the Combine
 // procedure).
-func InTestTime(c *Core, width int) (int64, error) { return wrapper.InTestTime(c, width) }
+func InTestTime(c *Core, width int) (t int64, err error) {
+	defer guard(&err)
+	return wrapper.InTestTime(c, width)
+}
 
 // Experiments.
 type (
@@ -211,4 +329,17 @@ type (
 )
 
 // RunTable regenerates one of the paper's evaluation tables for s.
-func RunTable(s *SOC, cfg TableConfig) (*Table, error) { return experiments.RunTable(s, cfg) }
+func RunTable(s *SOC, cfg TableConfig) (t *Table, err error) {
+	defer guard(&err)
+	return experiments.RunTable(s, cfg)
+}
+
+// RunTableCtx is RunTable with graceful degradation under a done
+// context: the cells completed before the interruption come back in a
+// Table marked Partial with a nil error (cells in flight are discarded,
+// so every reported value is exact). The context's error is returned
+// only when it fired before the first cell completed.
+func RunTableCtx(ctx context.Context, s *SOC, cfg TableConfig) (t *Table, err error) {
+	defer guard(&err)
+	return experiments.RunTableCtx(ctx, s, cfg)
+}

@@ -1,0 +1,63 @@
+// Package cli holds the run-lifecycle plumbing shared by the sitam
+// commands: a root context wired to SIGINT/SIGTERM and an optional
+// -timeout deadline, and the exit-code convention for reporting how a
+// run ended.
+//
+// All commands exit with:
+//
+//	0  success
+//	1  error (bad input, I/O failure, internal error)
+//	3  partial result: the deadline expired or the run was interrupted,
+//	   and the best result found so far was printed
+package cli
+
+import (
+	"context"
+	"errors"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Exit codes shared by all sitam commands.
+const (
+	ExitOK      = 0
+	ExitError   = 1
+	ExitPartial = 3
+)
+
+// Context returns a context that is cancelled on SIGINT or SIGTERM and,
+// when timeout is positive, expires after the timeout. The returned
+// stop function releases the signal handler (restoring default
+// Ctrl-C behavior, so a second interrupt kills the process) and cancels
+// the context.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() {
+		cancel()
+		stop()
+	}
+}
+
+// IsCtxErr reports whether err is the context machinery's cancellation
+// or deadline error (possibly wrapped).
+func IsCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Cause names why the context is done, for the partial-result marker:
+// "deadline" after -timeout expiry, "interrupted" after a signal.
+func Cause(ctx context.Context) string {
+	switch {
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(ctx.Err(), context.Canceled):
+		return "interrupted"
+	}
+	return "partial"
+}

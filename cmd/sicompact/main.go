@@ -6,14 +6,21 @@
 //
 //	sigen -soc p93791 -nr 100000 -o raw.pat
 //	sicompact -soc p93791 -g 4 raw.pat -o compact.pat
+//
+// With -timeout, or on SIGINT/SIGTERM, compaction degrades gracefully:
+// remaining patterns pass through unmerged, the output is still a valid
+// cover of the input set, a "RESULT PARTIAL" marker is printed and the
+// exit code is 3. Exit codes: 0 success, 1 error, 3 partial result.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"sitam/cmd/internal/cli"
 	"sitam/internal/core"
 	"sitam/internal/sifault"
 	"sitam/internal/soc"
@@ -28,64 +35,84 @@ func main() {
 		parts   = flag.Int("g", 1, "number of SI test groups (1 = vertical compaction only)")
 		seed    = flag.Int64("seed", 1, "partitioner seed")
 		out     = flag.String("o", "", "write compacted patterns to this file")
+		timeout = flag.Duration("timeout", 0, "deadline; on expiry the partially compacted set is emitted and the exit code is 3 (0 = none)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: sicompact [flags] <pattern file>")
 	}
 
-	s, err := loadSOC(*file, *socName)
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	partial, reason, err := run(ctx, *socName, *file, *parts, *seed, *out, flag.Arg(0))
+	stop()
 	if err != nil {
+		if cli.IsCtxErr(err) {
+			fmt.Printf("RESULT PARTIAL (%s): %v\n", cli.Cause(ctx), err)
+			os.Exit(cli.ExitPartial)
+		}
 		log.Fatal(err)
+	}
+	if partial {
+		fmt.Printf("RESULT PARTIAL (%s): %s\n", cli.Cause(ctx), reason)
+		os.Exit(cli.ExitPartial)
+	}
+}
+
+func run(ctx context.Context, socName, file string, parts int, seed int64, out, patFile string) (partial bool, reason string, err error) {
+	s, err := loadSOC(file, socName)
+	if err != nil {
+		return false, "", err
 	}
 	sp := sifault.NewSpace(s)
 
-	in, err := os.Open(flag.Arg(0))
+	in, err := os.Open(patFile)
 	if err != nil {
-		log.Fatal(err)
+		return false, "", err
 	}
 	total, bus, patterns, err := sifault.ReadPatterns(in)
 	in.Close()
 	if err != nil {
-		log.Fatal(err)
+		return false, "", err
 	}
 	if total != sp.Total() || bus != sp.BusWidth() {
-		log.Fatalf("pattern space (%d,%d) does not match SOC %s (%d,%d)",
+		return false, "", fmt.Errorf("pattern space (%d,%d) does not match SOC %s (%d,%d)",
 			total, bus, s.Name, sp.Total(), sp.BusWidth())
 	}
 
-	gr, err := core.BuildGroups(s, patterns, core.GroupingOptions{Parts: *parts, Seed: *seed})
+	gr, err := core.BuildGroupsCtx(ctx, s, patterns, core.GroupingOptions{Parts: parts, Seed: seed})
 	if err != nil {
-		log.Fatal(err)
+		return false, "", err
 	}
 	fmt.Printf("%s: %d patterns -> %d compacted (%.2fx) in %d groups, %d residual\n",
 		s.Name, gr.Stats.Original, gr.TotalCompacted(), gr.Stats.Ratio(),
 		len(gr.Groups), gr.CutPatterns)
-	for gi, g := range gr.Groups {
+	for _, g := range gr.Groups {
 		length := 0
 		for _, id := range g.Cores {
 			length += s.CoreByID(id).WOC()
 		}
 		fmt.Printf("  %-4s: %6d patterns, %2d cores, pattern length %d WOCs\n",
 			g.Name, g.Patterns, len(g.Cores), length)
-		_ = gi
 	}
 
-	if *out != "" {
+	if out != "" {
 		var all []*sifault.Pattern
 		for _, ps := range gr.GroupPatterns {
 			all = append(all, ps...)
 		}
-		f, err := os.Create(*out)
+		f, err := os.Create(out)
 		if err != nil {
-			log.Fatal(err)
+			return false, "", err
 		}
 		defer f.Close()
 		if err := sifault.WritePatterns(f, sp, all); err != nil {
-			log.Fatal(err)
+			return false, "", err
 		}
-		log.Printf("wrote %d compacted patterns to %s", len(all), *out)
+		log.Printf("wrote %d compacted patterns to %s", len(all), out)
 	}
+	return gr.Partial, gr.Reason, nil
 }
 
 func loadSOC(file, name string) (*soc.SOC, error) {

@@ -11,14 +11,21 @@
 // usage). The topology mode builds a random netlist and synthesizes the
 // maximal-aggressor ("ma") or reduced multiple-transition ("mt") test
 // set for it.
+//
+// With -timeout, or on SIGINT/SIGTERM, random generation stops early
+// and the prefix generated so far is written: since stdout carries the
+// pattern data, the "RESULT PARTIAL" marker goes to stderr and the exit
+// code is 3. Exit codes: 0 success, 1 error, 3 partial result.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"sitam/cmd/internal/cli"
 	"sitam/internal/sifault"
 	"sitam/internal/soc"
 	"sitam/internal/topology"
@@ -37,62 +44,96 @@ func main() {
 		busProb = flag.Float64("bus", 0.5, "random mode: shared-bus usage probability")
 		quiesce = flag.Float64("quiesce", 1.0, "random mode: victim-core background quiescing probability")
 
-		model  = flag.String("model", "", "topology mode: fault model, \"ma\" or \"mt\"")
-		fanout = flag.Int("fanout", 2, "topology mode: connections per core")
-		width  = flag.Int("width", 32, "topology mode: bits per connection")
-		k      = flag.Int("k", 3, "topology mode: coupling locality factor")
-		capN   = flag.Int("cap", 0, "topology mode: cap on mt pattern count (0 = none)")
-		stats  = flag.Bool("stats", false, "print pattern-set statistics to stderr")
+		model   = flag.String("model", "", "topology mode: fault model, \"ma\" or \"mt\"")
+		fanout  = flag.Int("fanout", 2, "topology mode: connections per core")
+		width   = flag.Int("width", 32, "topology mode: bits per connection")
+		k       = flag.Int("k", 3, "topology mode: coupling locality factor")
+		capN    = flag.Int("cap", 0, "topology mode: cap on mt pattern count (0 = none)")
+		stats   = flag.Bool("stats", false, "print pattern-set statistics to stderr")
+		timeout = flag.Duration("timeout", 0, "deadline; on expiry the patterns generated so far are written and the exit code is 3 (0 = none)")
 	)
 	flag.Parse()
 
-	s, err := loadSOC(*file, *socName)
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	partial, err := run(ctx, genOptions{
+		socName: *socName, file: *file, out: *out, seed: *seed,
+		nr: *nr, busProb: *busProb, quiesce: *quiesce,
+		model: *model, fanout: *fanout, width: *width, k: *k, capN: *capN,
+		stats: *stats,
+	})
+	stop()
 	if err != nil {
+		if cli.IsCtxErr(err) {
+			fmt.Fprintf(os.Stderr, "sigen: RESULT PARTIAL (%s): %v\n", cli.Cause(ctx), err)
+			os.Exit(cli.ExitPartial)
+		}
 		log.Fatal(err)
+	}
+	if partial {
+		fmt.Fprintf(os.Stderr, "sigen: RESULT PARTIAL (%s): generation stopped early\n", cli.Cause(ctx))
+		os.Exit(cli.ExitPartial)
+	}
+}
+
+type genOptions struct {
+	socName, file, out, model  string
+	nr, fanout, width, k, capN int
+	busProb, quiesce           float64
+	seed                       int64
+	stats                      bool
+}
+
+func run(ctx context.Context, o genOptions) (partial bool, err error) {
+	s, err := loadSOC(o.file, o.socName)
+	if err != nil {
+		return false, err
 	}
 
 	var patterns []*sifault.Pattern
-	switch *model {
+	switch o.model {
 	case "":
-		patterns, err = sifault.Generate(s, sifault.GenConfig{
-			N: *nr, Seed: *seed, BusProb: orNeg(*busProb), QuiesceProb: orNeg(*quiesce),
+		patterns, partial, err = sifault.GenerateCtx(ctx, s, sifault.GenConfig{
+			N: o.nr, Seed: o.seed, BusProb: orNeg(o.busProb), QuiesceProb: orNeg(o.quiesce),
 		})
 	case "ma", "mt":
 		var topo *topology.Topology
 		topo, err = topology.Random(s, topology.RandomConfig{
-			FanOut: *fanout, Width: *width, BusFraction: *busProb,
-		}, *seed)
+			FanOut: o.fanout, Width: o.width, BusFraction: o.busProb,
+		}, o.seed)
 		if err != nil {
 			break
 		}
-		if *model == "ma" {
-			patterns, err = topology.MAPatterns(topo, *k)
+		if o.model == "ma" {
+			patterns, err = topology.MAPatterns(topo, o.k)
 		} else {
-			patterns, err = topology.ReducedMTPatterns(topo, *k, *capN)
+			patterns, err = topology.ReducedMTPatterns(topo, o.k, o.capN)
 		}
 	default:
-		err = fmt.Errorf("unknown -model %q (want \"ma\" or \"mt\")", *model)
+		err = fmt.Errorf("unknown -model %q (want \"ma\" or \"mt\")", o.model)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return false, err
 	}
 
 	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if o.out != "" {
+		f, err := os.Create(o.out)
 		if err != nil {
-			log.Fatal(err)
+			return false, err
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := sifault.WritePatterns(w, sifault.NewSpace(s), patterns); err != nil {
-		log.Fatal(err)
+		return false, err
 	}
 	log.Printf("wrote %d patterns for %s", len(patterns), s.Name)
-	if *stats {
+	if o.stats {
 		fmt.Fprint(os.Stderr, sifault.Analyze(patterns).Format())
 	}
+	return partial, nil
 }
 
 // orNeg maps an explicit 0 flag value to the generator's "disabled"

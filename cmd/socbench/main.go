@@ -13,7 +13,9 @@
 //	socbench -ablation            # run the ablation sweeps instead
 //
 // The full sweep takes several minutes on a laptop-class machine; use
-// -v to watch progress.
+// -v to watch progress. With -timeout, or on SIGINT/SIGTERM, the cells
+// completed so far are printed with a "RESULT PARTIAL" marker and the
+// exit code is 3. Exit codes: 0 success, 1 error, 3 partial result.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"log"
 	"os"
 
+	"sitam/cmd/internal/cli"
 	"sitam/internal/experiments"
 	"sitam/internal/soc"
 )
@@ -38,22 +41,38 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		ablation = flag.Bool("ablation", false, "run ablation sweeps instead of the main tables")
 		coverage = flag.Bool("coverage", false, "run the SI fault coverage experiment instead of the main tables")
+		timeout  = flag.Duration("timeout", 0, "deadline; on expiry the completed cells are printed and the exit code is 3 (0 = none)")
 	)
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	var progress io.Writer
 	if *verbose {
 		progress = os.Stderr
 	}
 
+	exitPartial := func(reason string) {
+		stop()
+		fmt.Printf("RESULT PARTIAL (%s): %s\n", cli.Cause(ctx), reason)
+		os.Exit(cli.ExitPartial)
+	}
+
 	if *ablation {
-		if err := experiments.RunAblations(os.Stdout, *seed, *quick); err != nil {
+		if err := experiments.RunAblations(ctx, os.Stdout, *seed, *quick); err != nil {
+			if cli.IsCtxErr(err) {
+				exitPartial("ablation study stopped early")
+			}
 			log.Fatal(err)
 		}
 		return
 	}
 	if *coverage {
-		if err := experiments.RunCoverage(os.Stdout, *seed, *quick); err != nil {
+		if err := experiments.RunCoverage(ctx, os.Stdout, *seed, *quick); err != nil {
+			if cli.IsCtxErr(err) {
+				exitPartial("coverage experiment stopped early")
+			}
 			log.Fatal(err)
 		}
 		return
@@ -65,6 +84,7 @@ func main() {
 	if *socName != "" {
 		names = []string{*socName}
 	}
+	partialReason := ""
 	for _, name := range names {
 		s, err := soc.LoadBenchmark(name)
 		if err != nil {
@@ -75,8 +95,11 @@ func main() {
 			cfg.Widths = []int{16, 32, 64}
 			cfg.Nr = []int{10000}
 		}
-		tbl, err := experiments.RunTable(s, cfg)
+		tbl, err := experiments.RunTableCtx(ctx, s, cfg)
 		if err != nil {
+			if cli.IsCtxErr(err) {
+				exitPartial(fmt.Sprintf("no completed cells for %s", name))
+			}
 			log.Fatal(err)
 		}
 		if *markdown {
@@ -84,5 +107,12 @@ func main() {
 		} else {
 			fmt.Println(tbl.Format())
 		}
+		if tbl.Partial {
+			partialReason = fmt.Sprintf("%s: %s", name, tbl.Reason)
+			break
+		}
+	}
+	if partialReason != "" {
+		exitPartial(partialReason)
 	}
 }

@@ -5,6 +5,10 @@
 //
 //	socinfo -soc p34392
 //	socinfo -file mydesign.soc -w 8,16,32
+//
+// With -timeout, or on SIGINT/SIGTERM, the bound table stops at the
+// widths computed so far with a "RESULT PARTIAL" marker and exit code
+// 3. Exit codes: 0 success, 1 error, 3 partial result.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sitam/cmd/internal/cli"
 	"sitam/internal/soc"
 	"sitam/internal/trarchitect"
 	"sitam/internal/wrapper"
@@ -27,8 +32,12 @@ func main() {
 		socName = flag.String("soc", "p34392", "embedded benchmark SOC name")
 		file    = flag.String("file", "", ".soc file to load instead of a benchmark")
 		widths  = flag.String("w", "1,8,16,32,64", "comma-separated TAM widths to tabulate")
+		timeout = flag.Duration("timeout", 0, "deadline; on expiry the rows computed so far are printed and the exit code is 3 (0 = none)")
 	)
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	s, err := loadSOC(*file, *socName)
 	if err != nil {
@@ -70,16 +79,34 @@ func main() {
 		if w < 1 {
 			continue
 		}
+		if ctx.Err() != nil {
+			stop()
+			fmt.Printf("RESULT PARTIAL (%s): stopped before W=%d\n", cli.Cause(ctx), w)
+			os.Exit(cli.ExitPartial)
+		}
 		lb, err := trarchitect.LowerBound(s, w)
 		if err != nil {
 			log.Fatal(err)
 		}
-		arch, _, err := trarchitect.Optimize(s, w)
+		arch, _, st, err := trarchitect.OptimizeCtx(ctx, s, w)
 		if err != nil {
+			if cli.IsCtxErr(err) {
+				// Deadline fired before W=w produced anything usable
+				// (e.g. during the lower-bound computation just above).
+				stop()
+				fmt.Printf("RESULT PARTIAL (%s): stopped before W=%d\n", cli.Cause(ctx), w)
+				os.Exit(cli.ExitPartial)
+			}
 			log.Fatal(err)
 		}
 		got := arch.InTestTime()
 		fmt.Printf("%-8d %14d %14d %8.1f%%\n", w, lb, got, 100*float64(got-lb)/float64(lb))
+		if st.Partial {
+			stop()
+			fmt.Printf("RESULT PARTIAL (%s): W=%d row is the best architecture found before interruption (%s)\n",
+				cli.Cause(ctx), w, st.Reason)
+			os.Exit(cli.ExitPartial)
+		}
 	}
 }
 

@@ -3,21 +3,28 @@
 //
 // Usage:
 //
-//	tamopt -soc p93791 -w 32 -nr 10000 -g 4 [-seed 1] [-baseline] [-file design.soc]
+//	tamopt -soc p93791 -w 32 -nr 10000 -g 4 [-seed 1] [-baseline] [-file design.soc] [-timeout 30s]
 //
 // With -baseline the architecture is optimized for core-internal test
 // only (TR-Architect); otherwise the SI-aware TAM_Optimization algorithm
 // of the paper is used. Either way the SI test groups produced by the
 // two-dimensional compaction pipeline are scheduled on the final
 // architecture and the combined time is reported.
+//
+// The optimization is an anytime algorithm: with -timeout, or on
+// SIGINT/SIGTERM, the best architecture found so far is printed with a
+// "RESULT PARTIAL" marker and the command exits with code 3. Exit codes:
+// 0 success, 1 error, 3 partial result.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"sitam/cmd/internal/cli"
 	"sitam/internal/core"
 	"sitam/internal/report"
 	"sitam/internal/sifault"
@@ -41,82 +48,127 @@ func main() {
 		gantt    = flag.Bool("gantt", false, "render the SI schedule as an ASCII Gantt chart")
 		jsonOut  = flag.String("json", "", "also write the result as JSON to this file (\"-\" for stdout)")
 		ils      = flag.Int("ils", 0, "iterated-local-search kicks after the greedy optimization (0 = paper's algorithm)")
+		timeout  = flag.Duration("timeout", 0, "overall deadline; on expiry the best result so far is printed and the exit code is 3 (0 = none)")
 	)
 	flag.Parse()
 
-	s, err := loadSOC(*file, *socName)
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	partial, reason, err := run(ctx, options{
+		socName: *socName, file: *file, wmax: *wmax, nr: *nr, parts: *parts,
+		seed: *seed, baseline: *baseline, gantt: *gantt, jsonOut: *jsonOut, ils: *ils,
+	})
+	stop()
 	if err != nil {
+		if cli.IsCtxErr(err) {
+			// The deadline or signal fired before anything usable was
+			// produced: still a cut-short run, not an input error.
+			fmt.Printf("RESULT PARTIAL (%s): %v\n", cli.Cause(ctx), err)
+			os.Exit(cli.ExitPartial)
+		}
 		log.Fatal(err)
+	}
+	if partial {
+		fmt.Printf("RESULT PARTIAL (%s): %s\n", cli.Cause(ctx), reason)
+		os.Exit(cli.ExitPartial)
+	}
+}
+
+type options struct {
+	socName, file, jsonOut string
+	wmax, nr, parts, ils   int
+	seed                   int64
+	baseline, gantt        bool
+}
+
+// run executes the pipeline and reports whether any stage returned a
+// degraded (partial) result. It is a separate function so its deferred
+// file closes run before main decides the exit code.
+func run(ctx context.Context, o options) (partial bool, reason string, err error) {
+	s, err := loadSOC(o.file, o.socName)
+	if err != nil {
+		return false, "", err
 	}
 	fmt.Println(s.Summary())
 
-	patterns, err := sifault.Generate(s, sifault.GenConfig{N: *nr, Seed: *seed})
+	patterns, cut, err := sifault.GenerateCtx(ctx, s, sifault.GenConfig{N: o.nr, Seed: o.seed})
 	if err != nil {
-		log.Fatal(err)
+		return false, "", err
 	}
-	grouping, err := core.BuildGroups(s, patterns, core.GroupingOptions{Parts: *parts, Seed: *seed})
+	if cut {
+		partial, reason = true, fmt.Sprintf("pattern generation stopped at %d of %d patterns", len(patterns), o.nr)
+	}
+	grouping, err := core.BuildGroupsCtx(ctx, s, patterns, core.GroupingOptions{Parts: o.parts, Seed: o.seed})
 	if err != nil {
-		log.Fatal(err)
+		return false, "", err
+	}
+	if grouping.Partial && !partial {
+		partial, reason = true, grouping.Reason
 	}
 	fmt.Printf("SI compaction: %d patterns -> %d compacted in %d groups (ratio %.1fx, %d residual)\n",
 		grouping.Stats.Original, grouping.TotalCompacted(), len(grouping.Groups),
 		grouping.Stats.Ratio(), grouping.CutPatterns)
-	for i, g := range grouping.Groups {
+	for _, g := range grouping.Groups {
 		fmt.Printf("  %-4s: %5d patterns over %d cores\n", g.Name, g.Patterns, len(g.Cores))
-		_ = i
 	}
 
 	model := sischedule.DefaultModel()
 	var res *core.Result
 	switch {
-	case *baseline:
-		res, err = trarchitect.OptimizeThenScheduleSI(s, *wmax, grouping.Groups, model)
-	case *ils > 0:
+	case o.baseline:
+		res, err = trarchitect.OptimizeThenScheduleSICtx(ctx, s, o.wmax, grouping.Groups, model)
+	case o.ils > 0:
 		var eng *core.Engine
-		eng, err = core.NewEngine(s, *wmax, &core.SIEvaluator{Groups: grouping.Groups, Model: model})
+		eng, err = core.NewEngine(s, o.wmax, &core.SIEvaluator{Groups: grouping.Groups, Model: model})
 		if err != nil {
 			break
 		}
 		var arch *tam.Architecture
-		arch, _, err = eng.OptimizeILS(*ils, *seed)
+		var st core.Status
+		arch, _, st, err = eng.OptimizeILSCtx(ctx, o.ils, o.seed)
 		if err != nil {
 			break
 		}
 		var bd core.Breakdown
 		var sched *sischedule.Schedule
 		bd, sched, err = core.EvaluateBreakdown(arch, grouping.Groups, model)
-		res = &core.Result{Architecture: arch, Breakdown: bd, Schedule: sched}
+		res = &core.Result{Architecture: arch, Breakdown: bd, Schedule: sched, Partial: st.Partial, Reason: st.Reason}
 	default:
-		res, err = core.TAMOptimization(s, *wmax, grouping.Groups, model)
+		res, err = core.TAMOptimizationCtx(ctx, s, o.wmax, grouping.Groups, model)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return false, "", err
+	}
+	if res.Partial && !partial {
+		partial, reason = true, res.Reason
 	}
 
 	fmt.Println()
 	fmt.Print(res.Architecture)
 	fmt.Print(res.Schedule)
-	if *gantt {
+	if o.gantt {
 		fmt.Print(res.Architecture.InTestGantt(72))
 		fmt.Print(res.Schedule.Gantt(len(res.Architecture.Rails), 72))
 	}
 	fmt.Printf("T_in=%d cc  T_si=%d cc  T_soc=%d cc\n",
 		res.Breakdown.TimeIn, res.Breakdown.TimeSI, res.Breakdown.TimeSOC)
 
-	if *jsonOut != "" {
+	if o.jsonOut != "" {
 		w := os.Stdout
-		if *jsonOut != "-" {
-			f, err := os.Create(*jsonOut)
+		if o.jsonOut != "-" {
+			f, err := os.Create(o.jsonOut)
 			if err != nil {
-				log.Fatal(err)
+				return false, "", err
 			}
 			defer f.Close()
 			w = f
 		}
 		if err := report.FromResult(res).Write(w); err != nil {
-			log.Fatal(err)
+			return false, "", err
 		}
 	}
+	return partial, reason, nil
 }
 
 func loadSOC(file, name string) (*soc.SOC, error) {

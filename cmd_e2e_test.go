@@ -5,12 +5,14 @@ package sitam
 // status and the shape of its output.
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 var buildOnce sync.Once
@@ -132,5 +134,110 @@ func TestE2EToolRejectsBadFlags(t *testing.T) {
 	cmd = exec.Command(filepath.Join(binaries(t), "sicompact"))
 	if out, err := cmd.CombinedOutput(); err == nil {
 		t.Errorf("sicompact accepted missing args:\n%s", out)
+	}
+}
+
+// exitCode runs a tool and returns its exit code and combined output,
+// treating any exit (clean or not) as a result rather than a failure.
+func exitCode(t *testing.T, cmd *exec.Cmd) (int, string) {
+	t.Helper()
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("%v: %v\n%s", cmd.Args, err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// TestE2ETamoptTimeout drives tamopt into a deadline mid-optimization:
+// it must still print a result, mark it partial, and exit with the
+// documented partial-result code 3.
+func TestE2ETamoptTimeout(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binaries(t), "tamopt"),
+		"-soc", "p93791", "-w", "40", "-nr", "4000", "-g", "2", "-ils", "100000",
+		"-timeout", "2s")
+	code, out := exitCode(t, cmd)
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3 (partial)\n%s", code, out)
+	}
+	if !strings.Contains(out, "RESULT PARTIAL (deadline)") {
+		t.Errorf("output missing partial marker:\n%s", out)
+	}
+	if !strings.Contains(out, "T_soc") && !strings.Contains(out, "architecture:") {
+		t.Errorf("partial run printed no result:\n%s", out)
+	}
+}
+
+// TestE2ETamoptSIGINT interrupts a long tamopt run and checks the
+// signal is treated like a deadline: partial marker, exit code 3.
+func TestE2ETamoptSIGINT(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binaries(t), "tamopt"),
+		"-soc", "p93791", "-w", "40", "-nr", "4000", "-g", "2", "-ils", "100000")
+	var buf strings.Builder
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(1500 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	out := buf.String()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("tamopt survived SIGINT without exit code: %v\n%s", err, out)
+	}
+	if ee.ExitCode() != 3 {
+		t.Fatalf("exit code = %d, want 3 (partial)\n%s", ee.ExitCode(), out)
+	}
+	if !strings.Contains(out, "RESULT PARTIAL (interrupted)") {
+		t.Errorf("output missing interrupted marker:\n%s", out)
+	}
+}
+
+// TestE2ESigenTimeout checks sigen writes the generated prefix, keeps
+// stdout parseable, and reports the partial marker on stderr.
+func TestE2ESigenTimeout(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binaries(t), "sigen"),
+		"-soc", "p93791", "-nr", "50000000", "-timeout", "1s")
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 3 {
+		t.Fatalf("err = %v, want exit code 3\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "RESULT PARTIAL (deadline)") {
+		t.Errorf("stderr missing partial marker:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "space ") {
+		t.Errorf("stdout is not a pattern file:\n%.200s", stdout.String())
+	}
+}
+
+// TestE2EErrorsGoToStderr pins the CLI hygiene contract: an input
+// error produces a non-zero (and non-partial) exit code and lands on
+// stderr, leaving stdout clean.
+func TestE2EErrorsGoToStderr(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binaries(t), "tamopt"), "-soc", "nonexistent")
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Fatalf("err = %v, want exit code 1\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "tamopt:") {
+		t.Errorf("stderr missing prefixed error:\n%s", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "error") {
+		t.Errorf("error text leaked to stdout:\n%s", stdout.String())
 	}
 }

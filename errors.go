@@ -1,0 +1,55 @@
+package sitam
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// ErrInternal wraps every error the facade synthesizes from a recovered
+// internal panic. Library invariants are enforced with panics inside
+// the internal packages; the facade converts any that escape into an
+// ordinary error carrying the panic message and a stack snippet, so a
+// library bug cannot crash the embedding process. Test for it with
+// errors.Is(err, sitam.ErrInternal).
+var ErrInternal = errors.New("sitam: internal error")
+
+// guard recovers a panic into *errp, wrapping ErrInternal. Use as
+//
+//	func F() (err error) {
+//	    defer guard(&err)
+//	    ...
+//	}
+//
+// on every exported facade function. A nil recover leaves err alone, so
+// the normal return path is untouched.
+func guard(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	*errp = fmt.Errorf("%w: %v\n%s", ErrInternal, r, stackSnippet())
+}
+
+// stackSnippet returns the top frames of the panicking goroutine's
+// stack, trimmed to the few entries that locate the fault without
+// dumping the whole trace into the error string.
+func stackSnippet() string {
+	buf := make([]byte, 8192)
+	n := runtime.Stack(buf, false)
+	lines := strings.Split(strings.TrimSpace(string(buf[:n])), "\n")
+	// Drop the frames of the recovery machinery itself (runtime.Stack,
+	// stackSnippet, guard, the deferred call and the panic dispatch):
+	// the first line is the goroutine header, then two lines per frame.
+	const skipFrames = 4
+	kept := lines[:1]
+	if len(lines) > 1+2*skipFrames {
+		kept = append(kept, lines[1+2*skipFrames:]...)
+	}
+	const maxLines = 13 // header + 6 frames
+	if len(kept) > maxLines {
+		kept = kept[:maxLines]
+	}
+	return strings.Join(kept, "\n")
+}

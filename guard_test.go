@@ -1,0 +1,129 @@
+package sitam
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGuardConvertsPanics is the white-box contract of the recovery
+// guard: a panic becomes an ErrInternal-wrapped error carrying the
+// panic message and a stack snippet locating the fault, while normal
+// returns (nil or not) pass through untouched.
+func TestGuardConvertsPanics(t *testing.T) {
+	boom := func() (err error) {
+		defer guard(&err)
+		panic("boom 42")
+	}
+	err := boom()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	if !strings.Contains(err.Error(), "boom 42") {
+		t.Errorf("error lost the panic message: %v", err)
+	}
+	if !strings.Contains(err.Error(), ".go:") {
+		t.Errorf("error carries no stack snippet: %v", err)
+	}
+	if strings.Count(err.Error(), "\n") > 14 {
+		t.Errorf("stack snippet not trimmed:\n%v", err)
+	}
+
+	ok := func() (err error) {
+		defer guard(&err)
+		return nil
+	}
+	if err := ok(); err != nil {
+		t.Fatalf("guard disturbed a clean return: %v", err)
+	}
+	sentinel := errors.New("ordinary failure")
+	fails := func() (err error) {
+		defer guard(&err)
+		return sentinel
+	}
+	if err := fails(); !errors.Is(err, sentinel) || errors.Is(err, ErrInternal) {
+		t.Fatalf("guard disturbed an ordinary error: %v", err)
+	}
+}
+
+// TestFacadePanicBoundary feeds facade functions inputs that trip
+// internal invariants (nil dereferences) and checks the panic never
+// escapes the public API: the caller sees ErrInternal instead of a
+// crash.
+func TestFacadePanicBoundary(t *testing.T) {
+	if _, err := Optimize(nil, 16, nil, DefaultModel()); !errors.Is(err, ErrInternal) {
+		t.Errorf("Optimize(nil SOC) err = %v, want ErrInternal", err)
+	}
+	if _, err := ExactScheduleSI(nil, nil, DefaultModel()); !errors.Is(err, ErrInternal) {
+		t.Errorf("ExactScheduleSI(nil arch) err = %v, want ErrInternal", err)
+	}
+	if _, err := ScheduleSI(nil, nil, DefaultModel()); !errors.Is(err, ErrInternal) {
+		t.Errorf("ScheduleSI(nil arch) err = %v, want ErrInternal", err)
+	}
+	if _, err := GeneratePatterns(nil, GenConfig{N: 1}); !errors.Is(err, ErrInternal) {
+		t.Errorf("GeneratePatterns(nil SOC) err = %v, want ErrInternal", err)
+	}
+}
+
+// TestCtxFacades exercises the context-aware facade variants end to
+// end on a real benchmark: pre-cancelled contexts surface the context
+// error, and a deadline expiring mid-optimization degrades to a valid
+// partial Result.
+func TestCtxFacades(t *testing.T) {
+	s, err := LoadBenchmark("p34392")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, _, err := GeneratePatternsCtx(cancelled, s, GenConfig{N: 100, Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("GeneratePatternsCtx pre-cancelled err = %v", err)
+	}
+	if _, err := OptimizeCtx(cancelled, s, 16, nil, DefaultModel()); !errors.Is(err, context.Canceled) {
+		t.Errorf("OptimizeCtx pre-cancelled err = %v", err)
+	}
+	if _, err := OptimizeILSCtx(cancelled, s, 16, nil, DefaultModel(), 3, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("OptimizeILSCtx pre-cancelled err = %v", err)
+	}
+
+	patterns, partial, err := GeneratePatternsCtx(context.Background(), s, GenConfig{N: 1000, Seed: 1})
+	if err != nil || partial || len(patterns) != 1000 {
+		t.Fatalf("GeneratePatternsCtx = (%d patterns, partial=%v, %v)", len(patterns), partial, err)
+	}
+	gr, err := BuildGroupsCtx(context.Background(), s, patterns, GroupingOptions{Parts: 2, Seed: 1})
+	if err != nil || gr.Partial {
+		t.Fatalf("BuildGroupsCtx = (partial=%v, %v)", gr != nil && gr.Partial, err)
+	}
+
+	// A deadline mid-search must yield a usable partial Result, not an
+	// error: a huge kick budget guarantees the run cannot finish.
+	ctx, cancelT := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancelT()
+	res, err := OptimizeILSCtx(ctx, s, 16, gr.Groups, DefaultModel(), 1000000, 1)
+	if err != nil {
+		t.Fatalf("OptimizeILSCtx deadline run errored: %v", err)
+	}
+	if !res.Partial || res.Reason == "" {
+		t.Fatalf("deadline run Result not flagged partial: %+v", res)
+	}
+	if err := res.Architecture.Validate(); err != nil {
+		t.Fatalf("partial Result architecture invalid: %v", err)
+	}
+
+	// The exact scheduler facade: pre-cancelled context errors out...
+	if _, _, err := ExactScheduleSICtx(cancelled, res.Architecture, gr.Groups, DefaultModel()); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExactScheduleSICtx pre-cancelled err = %v", err)
+	}
+	// ...and an unconstrained run matches the plain facade.
+	exact, partial, err := ExactScheduleSICtx(context.Background(), res.Architecture, gr.Groups, DefaultModel())
+	if err != nil || partial {
+		t.Fatalf("ExactScheduleSICtx = (%d, partial=%v, %v)", exact, partial, err)
+	}
+	plain, err := ExactScheduleSI(res.Architecture, gr.Groups, DefaultModel())
+	if err != nil || plain != exact {
+		t.Fatalf("ExactScheduleSI = (%d, %v), ctx variant found %d", plain, err, exact)
+	}
+}

@@ -19,6 +19,7 @@
 package compaction
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -133,6 +134,17 @@ func (a *accumulator) pattern(weight int64) *sifault.Pattern {
 // patterns are not modified. The input order is the merge order, so the
 // result is deterministic.
 func Greedy(sp *sifault.Space, patterns []*sifault.Pattern) ([]*sifault.Pattern, Stats) {
+	out, stats, _ := GreedyCtx(context.Background(), sp, patterns)
+	return out, stats
+}
+
+// GreedyCtx is Greedy as an anytime algorithm: the context is checked
+// before each seed pass, and on cancellation or deadline expiry the
+// remaining unmerged patterns are emitted as-is (sharing the input
+// pattern values, which are never modified). The result is then a
+// valid but less compacted cover of the same original pattern set; the
+// returned bool reports whether compaction was cut short.
+func GreedyCtx(ctx context.Context, sp *sifault.Space, patterns []*sifault.Pattern) ([]*sifault.Pattern, Stats, bool) {
 	acc := newAccumulator(sp.Total(), sp.BusWidth())
 	alive := make([]bool, len(patterns))
 	remaining := make([]int, len(patterns))
@@ -144,7 +156,19 @@ func Greedy(sp *sifault.Space, patterns []*sifault.Pattern) ([]*sifault.Pattern,
 	}
 
 	var out []*sifault.Pattern
+	cut := false
+	passes := 0
 	for len(remaining) > 0 {
+		if ctx.Err() != nil {
+			// Graceful degradation: pass the unmerged remainder
+			// through untouched rather than dropping coverage.
+			cut = true
+			for _, idx := range remaining {
+				alive[idx] = false
+				out = append(out, patterns[idx])
+			}
+			break
+		}
 		acc.reset()
 		seed := patterns[remaining[0]]
 		acc.merge(seed)
@@ -164,8 +188,9 @@ func Greedy(sp *sifault.Space, patterns []*sifault.Pattern) ([]*sifault.Pattern,
 		}
 		remaining = next
 		out = append(out, acc.pattern(weight))
+		passes++
 	}
-	return out, Stats{Original: original, Compacted: len(out), Passes: len(out)}
+	return out, Stats{Original: original, Compacted: len(out), Passes: passes}, cut
 }
 
 // Compatible reports whether two patterns may be merged, applying both

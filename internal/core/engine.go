@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,6 +19,31 @@ type Engine struct {
 	Wmax  int
 	Times *wrapper.TimeTable
 	Eval  Evaluator
+}
+
+// Status reports how an anytime optimization run ended: a complete run
+// has the zero Status, while a run cut short by context cancellation or
+// deadline expiry that still produced a usable architecture has
+// Partial set and Reason describing where the run was interrupted.
+type Status struct {
+	Partial bool
+	Reason  string
+}
+
+// isCtxErr reports whether err stems from context cancellation or
+// deadline expiry, including errors wrapping those (e.g. an Evaluator
+// that aborted because its own downstream context fired).
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// stopReason renders a human-readable interruption reason for Status.
+func stopReason(err error, phase string) string {
+	cause := "cancelled"
+	if errors.Is(err, context.DeadlineExceeded) {
+		cause = "deadline exceeded"
+	}
+	return cause + " during " + phase
 }
 
 // NewEngine builds an engine, precomputing the per-core InTest time
@@ -39,13 +66,36 @@ func NewEngine(s *soc.SOC, wmax int, eval Evaluator) (*Engine, error) {
 // top-down merging, the remaining-rails sweep, and core reshuffling. It
 // returns the best architecture found and its objective value.
 func (e *Engine) Optimize() (*tam.Architecture, int64, error) {
-	a, err := e.startSolution()
-	if err != nil {
-		return nil, 0, err
+	a, obj, _, err := e.OptimizeCtx(context.Background())
+	return a, obj, err
+}
+
+// OptimizeCtx is Optimize as an anytime algorithm: the procedure checks
+// ctx between candidate evaluations, and when the context is cancelled
+// or its deadline expires mid-run it returns the best architecture found
+// so far with Status.Partial set and a nil error. The incumbent
+// objective only improves as the run progresses, so a partial result is
+// always a valid, schedulable architecture whose objective is at least
+// the value a complete run would reach. A context that is already done
+// before any feasible architecture exists yields the context's error.
+func (e *Engine) OptimizeCtx(ctx context.Context) (*tam.Architecture, int64, Status, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, Status{}, err
 	}
-	obj, err := e.Eval.Evaluate(a)
+	a, obj, err := e.startSolution(ctx)
 	if err != nil {
-		return nil, 0, err
+		if isCtxErr(err) && a != nil {
+			// Interrupted while distributing free wires: the
+			// architecture is feasible, just under-provisioned.
+			if o, eerr := e.Eval.Evaluate(a); eerr == nil {
+				return a, o, Status{Partial: true, Reason: stopReason(err, "start solution")}, nil
+			}
+		}
+		return nil, 0, Status{}, err
+	}
+
+	partial := func(err error, phase string) (*tam.Architecture, int64, Status, error) {
+		return a, obj, Status{Partial: true, Reason: stopReason(err, phase)}, nil
 	}
 
 	// Optimize bottom-up (Lines 17-23): repeatedly try to merge the
@@ -53,9 +103,12 @@ func (e *Engine) Optimize() (*tam.Architecture, int64, error) {
 	for improved := true; improved && len(a.Rails) > 1; {
 		sortByTimeUsed(a)
 		last := len(a.Rails) - 1
-		a2, obj2, err := e.mergeTAMs(a, obj, last)
+		a2, obj2, err := e.mergeTAMs(ctx, a, obj, last)
 		if err != nil {
-			return nil, 0, err
+			if isCtxErr(err) {
+				return partial(err, "bottom-up merge")
+			}
+			return nil, 0, Status{}, err
 		}
 		improved = obj2 < obj
 		a, obj = a2, obj2
@@ -65,9 +118,12 @@ func (e *Engine) Optimize() (*tam.Architecture, int64, error) {
 	// largest utilized time.
 	for improved := true; improved && len(a.Rails) > 1; {
 		sortByTimeUsed(a)
-		a2, obj2, err := e.mergeTAMs(a, obj, 0)
+		a2, obj2, err := e.mergeTAMs(ctx, a, obj, 0)
 		if err != nil {
-			return nil, 0, err
+			if isCtxErr(err) {
+				return partial(err, "top-down merge")
+			}
+			return nil, 0, Status{}, err
 		}
 		improved = obj2 < obj
 		a, obj = a2, obj2
@@ -92,9 +148,12 @@ func (e *Engine) Optimize() (*tam.Architecture, int64, error) {
 		if pick < 0 {
 			break
 		}
-		a2, obj2, err := e.mergeTAMs(a, obj, pick)
+		a2, obj2, err := e.mergeTAMs(ctx, a, obj, pick)
 		if err != nil {
-			return nil, 0, err
+			if isCtxErr(err) {
+				return partial(err, "remaining-rails sweep")
+			}
+			return nil, 0, Status{}, err
 		}
 		if obj2 < obj {
 			a, obj = a2, obj2
@@ -104,26 +163,40 @@ func (e *Engine) Optimize() (*tam.Architecture, int64, error) {
 	}
 
 	// Core reshuffle (Line 37): move single cores off bottleneck rails.
-	a, obj, err = e.coreReshuffle(a, obj)
+	a2, obj2, err := e.coreReshuffle(ctx, a, obj)
 	if err != nil {
-		return nil, 0, err
+		if isCtxErr(err) {
+			return partial(err, "core reshuffle")
+		}
+		return nil, 0, Status{}, err
 	}
-	return a, obj, nil
+	return a2, obj2, Status{}, nil
 }
 
 // startSolution implements Lines 1-16 of Fig. 6: one single-wire rail
 // per core, then merge down to Wmax rails or distribute leftover wires.
-func (e *Engine) startSolution() (*tam.Architecture, error) {
+// It returns the architecture together with its evaluated objective.
+//
+// On context interruption it returns the context error; the returned
+// architecture is non-nil only when it is feasible despite the
+// interruption (total width within Wmax, every core assigned) — the
+// objective is not meaningful in that case and the caller re-scores.
+func (e *Engine) startSolution(ctx context.Context) (*tam.Architecture, int64, error) {
 	a := tam.New(e.SOC, e.Times)
 	for _, c := range e.SOC.Cores() {
 		a.AddRail([]int{c.ID}, 1)
 	}
-	if _, err := e.Eval.Evaluate(a); err != nil {
-		return nil, err
+	obj, err := e.Eval.Evaluate(a)
+	if err != nil {
+		return nil, 0, err
 	}
 
 	if e.Wmax < len(a.Rails) {
 		for len(a.Rails) > e.Wmax {
+			if err := ctx.Err(); err != nil {
+				// More rails than wires: not a feasible architecture.
+				return nil, 0, err
+			}
 			sortByTimeUsed(a)
 			// Merge rail Wmax (0-indexed: the first rail beyond the
 			// budget) into whichever of the first Wmax rails minimizes
@@ -137,23 +210,27 @@ func (e *Engine) startSolution() (*tam.Architecture, error) {
 				mergeInto(cand, i, victim, 1)
 				o, err := e.Eval.Evaluate(cand)
 				if err != nil {
-					return nil, err
+					return nil, 0, err
 				}
 				if best < 0 || o < bestObj {
 					best, bestObj = i, o
 				}
 			}
 			mergeInto(a, best, victim, 1)
-			if _, err := e.Eval.Evaluate(a); err != nil {
-				return nil, err
+			if obj, err = e.Eval.Evaluate(a); err != nil {
+				return nil, 0, err
 			}
 		}
 	} else if free := e.Wmax - len(a.Rails); free > 0 {
-		if err := e.distributeFreeWires(a, free); err != nil {
-			return nil, err
+		if obj, err = e.distributeFreeWires(ctx, a, free); err != nil {
+			if isCtxErr(err) {
+				// a is feasible with some wires undistributed.
+				return a, 0, err
+			}
+			return nil, 0, err
 		}
 	}
-	return a, nil
+	return a, obj, nil
 }
 
 // mergeInto merges rail src into rail dst with the given width and
@@ -170,9 +247,14 @@ func mergeInto(a *tam.Architecture, dst, src int, width int) {
 // free wire goes, one at a time, to the rail whose widening minimizes
 // the objective — the bottleneck-rail criterion generalized to the
 // combined objective. Ties keep the wire on the rail with the largest
-// utilized time.
-func (e *Engine) distributeFreeWires(a *tam.Architecture, free int) error {
+// utilized time. It returns the objective of the final widened
+// architecture. Context interruption is checked between wires, so a
+// is always left in a consistent (if under-widened) state.
+func (e *Engine) distributeFreeWires(ctx context.Context, a *tam.Architecture, free int) (int64, error) {
 	for ; free > 0; free-- {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		best := -1
 		var bestObj int64
 		var bestUsed int64
@@ -183,7 +265,8 @@ func (e *Engine) distributeFreeWires(a *tam.Architecture, free int) error {
 			a.Rails[i].Width++
 			o, err := e.Eval.Evaluate(a)
 			if err != nil {
-				return err
+				a.Rails[i].Width--
+				return 0, err
 			}
 			u := a.Rails[i].TimeUsed()
 			a.Rails[i].Width--
@@ -196,16 +279,17 @@ func (e *Engine) distributeFreeWires(a *tam.Architecture, free int) error {
 		}
 		a.Rails[best].Width++
 	}
-	_, err := e.Eval.Evaluate(a)
-	return err
+	return e.Eval.Evaluate(a)
 }
 
 // mergeTAMs implements the paper's mergeTAMs procedure: given the rail
 // at index r1, enumerate every other rail and every merged width in
 // [max(w1,wi), w1+wi], distributing leftover wires, and return the best
 // resulting architecture if it beats the current objective; otherwise
-// the original architecture.
-func (e *Engine) mergeTAMs(a *tam.Architecture, curObj int64, r1 int) (*tam.Architecture, int64, error) {
+// the original architecture. The context is checked before every
+// candidate evaluation; an interruption aborts the enumeration and
+// propagates the context error, leaving the caller's incumbent intact.
+func (e *Engine) mergeTAMs(ctx context.Context, a *tam.Architecture, curObj int64, r1 int) (*tam.Architecture, int64, error) {
 	bestA, bestObj := a, curObj
 	w1 := a.Rails[r1].Width
 	for ri := range a.Rails {
@@ -222,6 +306,9 @@ func (e *Engine) mergeTAMs(a *tam.Architecture, curObj int64, r1 int) (*tam.Arch
 			hi = e.Wmax
 		}
 		for w := lo; w <= hi; w++ {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
 			cand := a.Clone()
 			dst, src := ri, r1
 			if dst > src {
@@ -234,7 +321,7 @@ func (e *Engine) mergeTAMs(a *tam.Architecture, curObj int64, r1 int) (*tam.Arch
 			cand.Rails[dst].Width = w
 			cand.Rails = append(cand.Rails[:src], cand.Rails[src+1:]...)
 			if leftover := w1 + wi - w; leftover > 0 {
-				if err := e.distributeFreeWires(cand, leftover); err != nil {
+				if _, err := e.distributeFreeWires(ctx, cand, leftover); err != nil {
 					return nil, 0, err
 				}
 			}
@@ -258,7 +345,7 @@ func (e *Engine) mergeTAMs(a *tam.Architecture, curObj int64, r1 int) (*tam.Arch
 // coreReshuffle implements Line 37: iteratively move one core from a
 // bottleneck rail (a rail critical to the objective) to another rail
 // while that reduces the objective.
-func (e *Engine) coreReshuffle(a *tam.Architecture, curObj int64) (*tam.Architecture, int64, error) {
+func (e *Engine) coreReshuffle(ctx context.Context, a *tam.Architecture, curObj int64) (*tam.Architecture, int64, error) {
 	for {
 		sources := bottleneckRails(a)
 		type cmove struct {
@@ -273,6 +360,9 @@ func (e *Engine) coreReshuffle(a *tam.Architecture, curObj int64) (*tam.Architec
 				continue
 			}
 			for _, id := range a.Rails[from].Cores {
+				if err := ctx.Err(); err != nil {
+					return nil, 0, err
+				}
 				for to := range a.Rails {
 					if to == from {
 						continue

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -20,25 +21,49 @@ import (
 // returning the best architecture found. With kicks == 0 it is exactly
 // Optimize. Results are deterministic in seed.
 func (e *Engine) OptimizeILS(kicks int, seed int64) (*tam.Architecture, int64, error) {
+	a, obj, _, err := e.OptimizeILSCtx(context.Background(), kicks, seed)
+	return a, obj, err
+}
+
+// OptimizeILSCtx is OptimizeILS as an anytime algorithm: the context is
+// checked before and during every kick round, and cancellation or
+// deadline expiry mid-search returns the best architecture found so far
+// with Status.Partial set and a nil error. The best-so-far objective is
+// monotonically non-increasing, so a partial result is never better
+// than what the complete run would return. A context that is done
+// before any architecture was produced yields the context's error.
+func (e *Engine) OptimizeILSCtx(ctx context.Context, kicks int, seed int64) (*tam.Architecture, int64, Status, error) {
 	if kicks < 0 {
-		return nil, 0, fmt.Errorf("core: negative kick count %d", kicks)
+		return nil, 0, Status{}, fmt.Errorf("core: negative kick count %d", kicks)
 	}
-	best, bestObj, err := e.Optimize()
-	if err != nil {
-		return nil, 0, err
+	best, bestObj, st, err := e.OptimizeCtx(ctx)
+	if err != nil || st.Partial {
+		return best, bestObj, st, err
 	}
 	rng := rand.New(rand.NewSource(seed))
 	cur, curObj := best, bestObj
+	partial := func(err error, phase string) (*tam.Architecture, int64, Status, error) {
+		return best, bestObj, Status{Partial: true, Reason: stopReason(err, phase)}, nil
+	}
 	for k := 0; k < kicks; k++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return partial(cerr, fmt.Sprintf("ILS kick %d/%d", k+1, kicks))
+		}
 		cand := cur.Clone()
 		e.kick(cand, rng)
 		obj, err := e.Eval.Evaluate(cand)
 		if err != nil {
-			return nil, 0, err
+			if isCtxErr(err) {
+				return partial(err, fmt.Sprintf("ILS kick %d/%d", k+1, kicks))
+			}
+			return nil, 0, Status{}, err
 		}
-		cand, obj, err = e.localSearch(cand, obj)
+		cand, obj, err = e.localSearch(ctx, cand, obj)
 		if err != nil {
-			return nil, 0, err
+			if isCtxErr(err) {
+				return partial(err, fmt.Sprintf("ILS local search, kick %d/%d", k+1, kicks))
+			}
+			return nil, 0, Status{}, err
 		}
 		// Accept improvements; otherwise restart the walk from the
 		// incumbent (classic better-acceptance ILS).
@@ -49,22 +74,22 @@ func (e *Engine) OptimizeILS(kicks int, seed int64) (*tam.Architecture, int64, e
 			best, bestObj = cur, curObj
 		}
 	}
-	return best, bestObj, nil
+	return best, bestObj, Status{}, nil
 }
 
 // localSearch re-runs the polishing loops of Optimize on an existing
 // architecture: bottom-up merges, then reshuffle.
-func (e *Engine) localSearch(a *tam.Architecture, obj int64) (*tam.Architecture, int64, error) {
+func (e *Engine) localSearch(ctx context.Context, a *tam.Architecture, obj int64) (*tam.Architecture, int64, error) {
 	for improved := true; improved && len(a.Rails) > 1; {
 		sortByTimeUsed(a)
-		a2, obj2, err := e.mergeTAMs(a, obj, len(a.Rails)-1)
+		a2, obj2, err := e.mergeTAMs(ctx, a, obj, len(a.Rails)-1)
 		if err != nil {
 			return nil, 0, err
 		}
 		improved = obj2 < obj
 		a, obj = a2, obj2
 	}
-	return e.coreReshuffle(a, obj)
+	return e.coreReshuffle(ctx, a, obj)
 }
 
 // kick applies a random perturbation in place: move 1-2 random cores to

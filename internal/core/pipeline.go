@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -37,6 +38,15 @@ type GroupingResult struct {
 
 	// Stats aggregates the vertical compaction over all groups.
 	Stats compaction.Stats
+
+	// Partial reports that the compaction pipeline was degraded by a
+	// done context: the partitioner skipped refinement and/or some
+	// patterns were passed through uncompacted. The groups are still a
+	// valid, schedulable cover of the full pattern set.
+	Partial bool
+
+	// Reason describes what was cut short when Partial is set.
+	Reason string
 }
 
 // TotalCompacted returns the total compacted pattern count across all
@@ -72,6 +82,16 @@ type GroupingOptions struct {
 // its care cores or into the residual group, and then compacts every
 // group separately with the greedy clique-cover heuristic.
 func BuildGroups(s *soc.SOC, patterns []*sifault.Pattern, opts GroupingOptions) (*GroupingResult, error) {
+	return BuildGroupsCtx(context.Background(), s, patterns, opts)
+}
+
+// BuildGroupsCtx is BuildGroups with graceful degradation under a done
+// context: the partitioner falls back to unrefined greedy bisections
+// and the per-group compaction passes remaining patterns through
+// unmerged. The result is then marked Partial but remains a valid,
+// schedulable grouping covering every input pattern. The context's
+// error is returned only when it is done before any work started.
+func BuildGroupsCtx(ctx context.Context, s *soc.SOC, patterns []*sifault.Pattern, opts GroupingOptions) (*GroupingResult, error) {
 	if opts.Parts < 1 {
 		return nil, fmt.Errorf("core: Parts must be >= 1, got %d", opts.Parts)
 	}
@@ -79,6 +99,17 @@ func BuildGroups(s *soc.SOC, patterns []*sifault.Pattern, opts GroupingOptions) 
 	cores := s.Cores()
 	if opts.Parts > len(cores) {
 		return nil, fmt.Errorf("core: Parts=%d exceeds core count %d", opts.Parts, len(cores))
+	}
+	// Caller-built patterns may reference positions outside the SOC's
+	// WOC space; validate up front so bad input surfaces as an error
+	// here instead of a panic inside the care-core scan below.
+	for i, p := range patterns {
+		if err := p.Validate(sp); err != nil {
+			return nil, fmt.Errorf("core: pattern %d: %w", i, err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Vertex numbering: position order.
@@ -108,6 +139,7 @@ func BuildGroups(s *soc.SOC, patterns []*sifault.Pattern, opts GroupingOptions) 
 	}
 
 	assign := make([]int, len(cores)) // all zero for Parts == 1
+	partitionCut := false
 	if opts.Parts > 1 {
 		h := hypergraph.New(weights)
 		keys := make([]string, 0, len(edgePins))
@@ -121,7 +153,7 @@ func BuildGroups(s *soc.SOC, patterns []*sifault.Pattern, opts GroupingOptions) 
 			}
 		}
 		var err error
-		assign, _, err = hypergraph.PartitionK(h, opts.Parts, hypergraph.Options{
+		assign, _, partitionCut, err = hypergraph.PartitionKCtx(ctx, h, opts.Parts, hypergraph.Options{
 			Seed:      opts.Seed,
 			Tolerance: opts.Tolerance,
 		})
@@ -160,11 +192,13 @@ func BuildGroups(s *soc.SOC, patterns []*sifault.Pattern, opts GroupingOptions) 
 	// Compact each bucket separately and build schedulable groups. The
 	// residual group comes first: it involves (nearly) every core, so
 	// scheduling it early keeps Algorithm 1's packing tight.
+	compactionCut := false
 	addGroup := func(name string, ps []*sifault.Pattern) {
 		if len(ps) == 0 {
 			return
 		}
-		comp, stats := compaction.Greedy(sp, ps)
+		comp, stats, cut := compaction.GreedyCtx(ctx, sp, ps)
+		compactionCut = compactionCut || cut
 		res.Stats.Original += stats.Original
 		res.Stats.Compacted += stats.Compacted
 		res.Stats.Passes += stats.Passes
@@ -192,6 +226,17 @@ func BuildGroups(s *soc.SOC, patterns []*sifault.Pattern, opts GroupingOptions) 
 	for part := 0; part < opts.Parts; part++ {
 		addGroup(fmt.Sprintf("G%d", part+1), perPart[part])
 	}
+	if partitionCut || compactionCut {
+		res.Partial = true
+		switch {
+		case partitionCut && compactionCut:
+			res.Reason = stopReason(ctx.Err(), "partitioning and compaction")
+		case partitionCut:
+			res.Reason = stopReason(ctx.Err(), "partitioning")
+		default:
+			res.Reason = stopReason(ctx.Err(), "compaction")
+		}
+	}
 	return res, nil
 }
 
@@ -208,11 +253,20 @@ func pinKey(pins []int) string {
 // T_soc = T_in + T_si over the given SI test groups, and returns the
 // architecture with its objective breakdown and SI schedule.
 func TAMOptimization(s *soc.SOC, wmax int, groups []*sischedule.Group, m sischedule.Model) (*Result, error) {
+	return TAMOptimizationCtx(context.Background(), s, wmax, groups, m)
+}
+
+// TAMOptimizationCtx is TAMOptimization as an anytime algorithm: on
+// cancellation or deadline expiry mid-search the best architecture
+// found so far is evaluated and returned with Result.Partial set and a
+// nil error. Only when no valid architecture was produced at all does
+// the context's error come back.
+func TAMOptimizationCtx(ctx context.Context, s *soc.SOC, wmax int, groups []*sischedule.Group, m sischedule.Model) (*Result, error) {
 	eng, err := NewEngine(s, wmax, &SIEvaluator{Groups: groups, Model: m})
 	if err != nil {
 		return nil, err
 	}
-	arch, _, err := eng.Optimize()
+	arch, _, st, err := eng.OptimizeCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +274,7 @@ func TAMOptimization(s *soc.SOC, wmax int, groups []*sischedule.Group, m sisched
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Architecture: arch, Breakdown: bd, Schedule: sched}, nil
+	return &Result{Architecture: arch, Breakdown: bd, Schedule: sched, Partial: st.Partial, Reason: st.Reason}, nil
 }
 
 // Result is the outcome of a TAM optimization run: the designed
@@ -229,4 +283,14 @@ type Result struct {
 	Architecture *tam.Architecture
 	Breakdown    Breakdown
 	Schedule     *sischedule.Schedule
+
+	// Partial reports that the optimization was interrupted by a done
+	// context and Architecture is the best solution found so far rather
+	// than the converged one. It is still a valid, schedulable
+	// architecture; Breakdown and Schedule describe it exactly.
+	Partial bool
+
+	// Reason describes what was interrupted when Partial is set, e.g.
+	// "deadline exceeded during bottom-up merge".
+	Reason string
 }

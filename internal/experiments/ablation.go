@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -24,10 +25,22 @@ import (
 //  4. hypergraph balance tolerance vs residual (cut) patterns;
 //  5. Algorithm 1's concurrent SI scheduling vs naive serial
 //     application of the groups.
-func RunAblations(w io.Writer, seed int64, quick bool) error {
+//
+// The context is checked between sections: a cancelled or expired
+// context stops the study after the section in flight, reporting the
+// sections already written plus a trailing note, and returns the
+// context's error so callers can distinguish a truncated report.
+func RunAblations(ctx context.Context, w io.Writer, seed int64, quick bool) error {
 	s, err := soc.LoadBenchmark("p34392")
 	if err != nil {
 		return err
+	}
+	section := func(name string) error {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(w, "\n[stopped before section %s: %v]\n", name, err)
+			return err
+		}
+		return nil
 	}
 	nr := 20000
 	sample := 3000
@@ -40,6 +53,9 @@ func RunAblations(w io.Writer, seed int64, quick bool) error {
 	fmt.Fprintf(w, "Ablation study on %s (Nr=%d, Wmax=%d, seed=%d)\n", s.Name, nr, wmax, seed)
 
 	// --- 1. Greedy vs DSATUR cover.
+	if err := section("1"); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "\n[1] vertical compaction: greedy vs DSATUR (first %d patterns)\n", sample)
 	patterns, err := sifault.Generate(s, sifault.GenConfig{N: sample, Seed: seed})
 	if err != nil {
@@ -57,6 +73,9 @@ func RunAblations(w io.Writer, seed int64, quick bool) error {
 		100*float64(gs.Compacted-ds.Compacted)/float64(ds.Compacted))
 
 	// --- 2. Quiescing probability sweep.
+	if err := section("2"); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "\n[2] victim-core quiescing probability vs compaction and T_soc (g=4, W=%d)\n", wmax)
 	for _, q := range []float64{-1, 0.25, 0.5, 1.0} {
 		pats, err := sifault.Generate(s, sifault.GenConfig{N: nr, Seed: seed, QuiesceProb: q})
@@ -81,6 +100,9 @@ func RunAblations(w io.Writer, seed int64, quick bool) error {
 	}
 
 	// --- 3. Bus usage probability sweep.
+	if err := section("3"); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "\n[3] shared-bus usage probability vs compaction (g=1)\n")
 	for _, bp := range []float64{-1, 0.25, 0.5, 0.75} {
 		pats, err := sifault.Generate(s, sifault.GenConfig{N: nr, Seed: seed, BusProb: bp})
@@ -100,6 +122,9 @@ func RunAblations(w io.Writer, seed int64, quick bool) error {
 	}
 
 	// --- 4. Balance tolerance sweep.
+	if err := section("4"); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "\n[4] hypergraph balance tolerance vs residual patterns (g=4)\n")
 	patterns, err = sifault.Generate(s, sifault.GenConfig{N: nr, Seed: seed})
 	if err != nil {
@@ -116,6 +141,9 @@ func RunAblations(w io.Writer, seed int64, quick bool) error {
 	}
 
 	// --- 5. Concurrent vs serial SI scheduling.
+	if err := section("5"); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "\n[5] Algorithm 1 concurrency vs serial SI application (g=8, W=%d)\n", wmax)
 	gr, err := core.BuildGroups(s, patterns, core.GroupingOptions{Parts: 8, Seed: seed})
 	if err != nil {
@@ -134,6 +162,9 @@ func RunAblations(w io.Writer, seed int64, quick bool) error {
 		100*float64(serial-res.Breakdown.TimeSI)/float64(serial))
 
 	// --- 6. TestRail vs multiplexed Test Bus.
+	if err := section("6"); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "\n[6] TestRail vs Test Bus architecture style (g=8, W=%d)\n", wmax)
 	engBus, err := core.NewEngine(s, wmax, &core.TestBusEvaluator{Groups: gr.Groups, Model: sischedule.DefaultModel()})
 	if err != nil {
@@ -149,6 +180,9 @@ func RunAblations(w io.Writer, seed int64, quick bool) error {
 		100*float64(busObj-res.Breakdown.TimeSOC)/float64(res.Breakdown.TimeSOC))
 
 	// --- 7. Heuristic optimality gap on tiny instances.
+	if err := section("7"); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "\n[7] Algorithm 2 vs exhaustive optimum (tiny random SOCs)\n")
 	instances := 12
 	if quick {
@@ -172,6 +206,9 @@ func RunAblations(w io.Writer, seed int64, quick bool) error {
 		instances, 100*sum/float64(instances), 100*worst)
 
 	// --- 8. Algorithm 1 vs exact branch-and-bound schedule.
+	if err := section("8"); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "\n[8] Algorithm 1 vs optimal SI schedule (same g=8 groups, W=%d)\n", wmax)
 	optSI, nodes, err := sischedule.ExactSchedule(res.Architecture, gr.Groups, sischedule.DefaultModel())
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -17,7 +18,10 @@ import (
 // the behavioral fault simulator, and contrasts the curve with the
 // deterministic maximal-aggressor test set (complete by construction
 // at 6 patterns per net).
-func RunCoverage(w io.Writer, seed int64, quick bool) error {
+//
+// The context is checked between stages; a cancelled or expired context
+// stops the study with a trailing note and the context's error.
+func RunCoverage(ctx context.Context, w io.Writer, seed int64, quick bool) error {
 	s, err := soc.LoadBenchmark("p34392")
 	if err != nil {
 		return err
@@ -42,6 +46,10 @@ func RunCoverage(w io.Writer, seed int64, quick bool) error {
 	fmt.Fprintf(w, "  deterministic MA set: %d patterns -> %.1f%% coverage\n",
 		len(ma), 100*maCov.Fraction())
 
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintf(w, "  [stopped before random-pattern curve: %v]\n", err)
+		return err
+	}
 	n := 80000
 	checkpoints := []int{1000, 5000, 10000, 20000, 40000, 80000}
 	if quick {
@@ -50,6 +58,10 @@ func RunCoverage(w io.Writer, seed int64, quick bool) error {
 	}
 	random, err := sifault.Generate(s, sifault.GenConfig{N: n, Seed: seed})
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintf(w, "  [stopped before coverage grading: %v]\n", err)
 		return err
 	}
 	curve := sim.CoverageCurve(random, checkpoints)

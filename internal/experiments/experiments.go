@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -110,6 +111,15 @@ type Table struct {
 	// CompactionStats[nr][g] records the 2-D compaction outcome used
 	// for the cells with that Nr and grouping count.
 	CompactionStats map[int]map[int]GroupingStat
+
+	// Partial reports that the run was cut short by a done context.
+	// Cells holds only the fully computed cells — a cell whose
+	// optimization was interrupted is discarded, never reported with a
+	// degraded number, so every value present is exact.
+	Partial bool
+
+	// Reason describes where the run stopped when Partial is set.
+	Reason string
 }
 
 // GroupingStat summarizes one (Nr, g) compaction.
@@ -122,6 +132,17 @@ type GroupingStat struct {
 
 // RunTable reproduces one of the paper's tables for SOC s.
 func RunTable(s *soc.SOC, cfg TableConfig) (*Table, error) {
+	return RunTableCtx(context.Background(), s, cfg)
+}
+
+// RunTableCtx is RunTable with graceful degradation under a done
+// context. The table is built cell by cell; on cancellation or deadline
+// expiry the run stops and the cells completed so far come back in a
+// Table marked Partial with a nil error — a cell whose optimization was
+// interrupted is discarded rather than reported with degraded numbers,
+// so every cell present is exact. Only when the context fires before
+// the first cell completed does the context's error come back.
+func RunTableCtx(ctx context.Context, s *soc.SOC, cfg TableConfig) (*Table, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	tbl := &Table{
@@ -134,14 +155,31 @@ func RunTable(s *soc.SOC, cfg TableConfig) (*Table, error) {
 			fmt.Fprintf(cfg.Progress, format+"\n", a...)
 		}
 	}
+	// finish marks the table partial at the given stage and returns it,
+	// or surfaces the context error when nothing was completed.
+	finish := func(stage string) (*Table, error) {
+		tbl.Elapsed = time.Since(start)
+		if len(tbl.Cells) == 0 {
+			return nil, ctx.Err()
+		}
+		tbl.Partial = true
+		tbl.Reason = fmt.Sprintf("stopped during %s: %v", stage, ctx.Err())
+		logf("%s: %s; returning %d completed cells", s.Name, tbl.Reason, len(tbl.Cells))
+		return tbl, nil
+	}
 
 	for _, nr := range cfg.Nr {
 		gen := cfg.Gen
 		gen.N = nr
 		gen.Seed = cfg.Seed + int64(nr)
-		patterns, err := sifault.Generate(s, gen)
+		patterns, cut, err := sifault.GenerateCtx(ctx, s, gen)
 		if err != nil {
 			return nil, err
+		}
+		if cut {
+			// A truncated pattern set would make the Nr label a lie;
+			// drop the whole block instead.
+			return finish(fmt.Sprintf("pattern generation (Nr=%d)", nr))
 		}
 		logf("%s: generated %d SI patterns (seed %d)", s.Name, nr, gen.Seed)
 
@@ -149,9 +187,13 @@ func RunTable(s *soc.SOC, cfg TableConfig) (*Table, error) {
 		groupsByG := make(map[int][]*sischedule.Group, len(cfg.Groupings))
 		tbl.CompactionStats[nr] = make(map[int]GroupingStat)
 		for _, g := range cfg.Groupings {
-			gr, err := core.BuildGroups(s, patterns, core.GroupingOptions{Parts: g, Seed: cfg.Seed})
+			gr, err := core.BuildGroupsCtx(ctx, s, patterns, core.GroupingOptions{Parts: g, Seed: cfg.Seed})
 			if err != nil {
 				return nil, err
+			}
+			if gr.Partial {
+				delete(tbl.CompactionStats, nr)
+				return finish(fmt.Sprintf("compaction (Nr=%d, g=%d)", nr, g))
 			}
 			groupsByG[g] = gr.Groups
 			tbl.CompactionStats[nr][g] = GroupingStat{
@@ -170,9 +212,12 @@ func RunTable(s *soc.SOC, cfg TableConfig) (*Table, error) {
 			// Baseline: InTest-only architecture, then the SI tests
 			// (best grouping for that fixed architecture, so the
 			// baseline is not penalized by the grouping choice).
-			arch, _, err := trarchitect.Optimize(s, w)
+			arch, _, st, err := trarchitect.OptimizeCtx(ctx, s, w)
 			if err != nil {
 				return nil, err
+			}
+			if st.Partial {
+				return finish(fmt.Sprintf("baseline optimization (Nr=%d, W=%d)", nr, w))
 			}
 			for _, g := range cfg.Groupings {
 				bd, _, err := core.EvaluateBreakdown(arch, groupsByG[g], cfg.Model)
@@ -187,9 +232,12 @@ func RunTable(s *soc.SOC, cfg TableConfig) (*Table, error) {
 
 			// SI-aware optimization per grouping count.
 			for _, g := range cfg.Groupings {
-				res, err := core.TAMOptimization(s, w, groupsByG[g], cfg.Model)
+				res, err := core.TAMOptimizationCtx(ctx, s, w, groupsByG[g], cfg.Model)
 				if err != nil {
 					return nil, err
+				}
+				if res.Partial {
+					return finish(fmt.Sprintf("SI-aware optimization (Nr=%d, W=%d, g=%d)", nr, w, g))
 				}
 				cell.Tg = append(cell.Tg, res.Breakdown.TimeSOC)
 				if cell.Tmin == 0 || res.Breakdown.TimeSOC < cell.Tmin {

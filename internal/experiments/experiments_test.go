@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -106,7 +107,7 @@ func TestRunAblationsQuick(t *testing.T) {
 		t.Skip("ablations are slow")
 	}
 	var buf bytes.Buffer
-	if err := RunAblations(&buf, 1, true); err != nil {
+	if err := RunAblations(context.Background(), &buf, 1, true); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

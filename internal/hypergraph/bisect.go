@@ -1,6 +1,7 @@
 package hypergraph
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 )
@@ -9,7 +10,13 @@ import (
 // the total vertex weight, using multilevel coarsening, randomized
 // greedy initial partitions and FM refinement. It returns the per-vertex
 // side (0 or 1).
-func bisect(h *Hypergraph, frac float64, opts Options, rng *rand.Rand) ([]int, error) {
+//
+// A done context degrades quality instead of failing: coarsening stops
+// at the current level, only the first (cheap, deterministic) initial
+// partition is grown, and FM refinement passes are skipped. The
+// projection to the finest level always completes, so the returned side
+// assignment is valid regardless of when the context fires.
+func bisect(ctx context.Context, h *Hypergraph, frac float64, opts Options, rng *rand.Rand) ([]int, error) {
 	n := h.NumVertices()
 	if n == 0 {
 		return nil, nil
@@ -22,6 +29,9 @@ func bisect(h *Hypergraph, frac float64, opts Options, rng *rand.Rand) ([]int, e
 	levels := []*Hypergraph{h}
 	var maps [][]int // maps[l][v] = coarse vertex of v at level l+1
 	for levels[len(levels)-1].NumVertices() > opts.CoarsenTo {
+		if ctx.Err() != nil {
+			break // partition at the current (coarser-than-ideal) level
+		}
 		cur := levels[len(levels)-1]
 		coarse, vmap, shrunk := coarsen(cur, rng)
 		if !shrunk {
@@ -39,8 +49,13 @@ func bisect(h *Hypergraph, frac float64, opts Options, rng *rand.Rand) ([]int, e
 	var bestSide []int
 	var bestCut int64 = -1
 	for try := 0; try < opts.Restarts; try++ {
+		// Always run the first try — one greedy growth is cheap and
+		// guarantees a valid bisection even under a done context.
+		if try > 0 && ctx.Err() != nil {
+			break
+		}
 		side := growInitial(coarsest, targetLeft, rng)
-		fmRefine(coarsest, side, targetLeft, tol)
+		fmRefine(ctx, coarsest, side, targetLeft, tol)
 		cut := cutOf(coarsest, side)
 		if bestCut < 0 || cut < bestCut {
 			bestCut = cut
@@ -49,7 +64,10 @@ func bisect(h *Hypergraph, frac float64, opts Options, rng *rand.Rand) ([]int, e
 	}
 	side := bestSide
 
-	// Uncoarsening: project and refine at each finer level.
+	// Uncoarsening: project and refine at each finer level. The
+	// projection must always run to completion — the side assignment is
+	// only meaningful for the finest graph — so only refinement is
+	// skippable under a done context (inside fmRefine).
 	for l := len(levels) - 2; l >= 0; l-- {
 		fine := levels[l]
 		vmap := maps[l]
@@ -57,7 +75,7 @@ func bisect(h *Hypergraph, frac float64, opts Options, rng *rand.Rand) ([]int, e
 		for v := range fineSide {
 			fineSide[v] = side[vmap[v]]
 		}
-		fmRefine(fine, fineSide, targetLeft, tol)
+		fmRefine(ctx, fine, fineSide, targetLeft, tol)
 		side = fineSide
 	}
 	return side, nil
@@ -243,8 +261,10 @@ func growInitial(h *Hypergraph, targetLeft float64, rng *rand.Rand) []int {
 // yields no improvement. side is modified in place. The balance
 // constraint keeps side 0's weight within tolerance of targetLeft (and
 // symmetrically for side 1), while always permitting moves that improve
-// balance.
-func fmRefine(h *Hypergraph, side []int, targetLeft float64, tol float64) {
+// balance. The context is checked only at pass boundaries — each pass
+// either completes or is rolled back to its best prefix, so side is
+// always left in a consistent state.
+func fmRefine(ctx context.Context, h *Hypergraph, side []int, targetLeft float64, tol float64) {
 	n := h.NumVertices()
 	if n < 2 {
 		return
@@ -270,6 +290,9 @@ func fmRefine(h *Hypergraph, side []int, targetLeft float64, tol float64) {
 	}
 
 	for pass := 0; pass < 16; pass++ {
+		if ctx.Err() != nil {
+			return
+		}
 		for ei := range pinCount {
 			pinCount[ei] = [2]int64{}
 		}

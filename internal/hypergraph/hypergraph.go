@@ -10,6 +10,7 @@
 package hypergraph
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -123,17 +124,29 @@ func (o Options) withDefaults() Options {
 // returns the per-vertex part assignment and the cut weight. k must be
 // at least 1; k == 1 returns the trivial partition.
 func PartitionK(h *Hypergraph, k int, opts Options) ([]int, int64, error) {
+	assign, cut, _, err := PartitionKCtx(context.Background(), h, k, opts)
+	return assign, cut, err
+}
+
+// PartitionKCtx is PartitionK with graceful degradation under a
+// context: a cancelled or expired context never fails the partition —
+// instead the multilevel machinery skips restarts and FM refinement
+// passes once the context is done, falling back to a single greedy
+// initial bisection per level, so a structurally valid (if
+// lower-quality) balanced partition always comes back. The returned
+// bool reports whether the search was degraded by the context.
+func PartitionKCtx(ctx context.Context, h *Hypergraph, k int, opts Options) ([]int, int64, bool, error) {
 	if k < 1 {
-		return nil, 0, fmt.Errorf("hypergraph: k must be >= 1, got %d", k)
+		return nil, 0, false, fmt.Errorf("hypergraph: k must be >= 1, got %d", k)
 	}
 	opts = opts.withDefaults()
 	n := h.NumVertices()
 	assign := make([]int, n)
 	if k == 1 || n == 0 {
-		return assign, 0, nil
+		return assign, 0, false, nil
 	}
 	if k > n {
-		return nil, 0, fmt.Errorf("hypergraph: k=%d exceeds vertex count %d", k, n)
+		return nil, 0, false, fmt.Errorf("hypergraph: k=%d exceeds vertex count %d", k, n)
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	// Recursive bisection: split [0,k) parts over the vertex set,
@@ -149,7 +162,7 @@ func PartitionK(h *Hypergraph, k int, opts Options) ([]int, int64, error) {
 		kLeft := (partHi - partLo + 1) / 2
 		frac := float64(kLeft) / float64(partHi-partLo)
 		sub, fromSub := induce(h, vertices)
-		side, err := bisect(sub, frac, opts, rng)
+		side, err := bisect(ctx, sub, frac, opts, rng)
 		if err != nil {
 			return err
 		}
@@ -176,9 +189,11 @@ func PartitionK(h *Hypergraph, k int, opts Options) ([]int, int64, error) {
 		all[i] = i
 	}
 	if err := recurse(all, 0, k); err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
-	return assign, h.CutWeight(assign), nil
+	// Cancellation is permanent, so checking once at the end captures
+	// whether any stage above ran in degraded mode.
+	return assign, h.CutWeight(assign), ctx.Err() != nil, nil
 }
 
 // forceCounts moves the lightest vertices between sides until each side

@@ -1,6 +1,7 @@
 package hypergraph
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -336,7 +337,7 @@ func TestFMImprovesBadStart(t *testing.T) {
 		side[i] = i % 2
 	}
 	before := cutOf(h, side)
-	fmRefine(h, side, float64(n)/2, 0.10)
+	fmRefine(context.Background(), h, side, float64(n)/2, 0.10)
 	after := cutOf(h, side)
 	if after >= before {
 		t.Errorf("FM did not improve: %d -> %d", before, after)

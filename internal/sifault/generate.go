@@ -1,6 +1,7 @@
 package sifault
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -116,23 +117,41 @@ var maFaultKinds = [6]struct{ victim, aggressor Symbol }{
 // proportionally more victims); internal aggressors are distinct WOCs of
 // the victim core, external aggressors distinct WOCs of other cores.
 func Generate(s *soc.SOC, cfg GenConfig) ([]*Pattern, error) {
+	patterns, _, err := GenerateCtx(context.Background(), s, cfg)
+	return patterns, err
+}
+
+// GenerateCtx is Generate as an anytime algorithm: the context is
+// polled every 512 patterns, and on cancellation or deadline expiry the
+// prefix generated so far is returned with the partial flag set and a
+// nil error. The prefix is exactly what a full run with the same seed
+// would have produced first, so downstream consumers see a smaller but
+// otherwise identical workload. If the context fires before any
+// pattern was generated, the context's error is returned instead.
+func GenerateCtx(ctx context.Context, s *soc.SOC, cfg GenConfig) ([]*Pattern, bool, error) {
 	cfg = cfg.withDefaults()
 	if cfg.N < 0 {
-		return nil, fmt.Errorf("sifault: negative pattern count %d", cfg.N)
+		return nil, false, fmt.Errorf("sifault: negative pattern count %d", cfg.N)
 	}
 	if cfg.MinAggressors < 1 || cfg.MaxAggressors < cfg.MinAggressors {
-		return nil, fmt.Errorf("sifault: bad aggressor bounds [%d,%d]", cfg.MinAggressors, cfg.MaxAggressors)
+		return nil, false, fmt.Errorf("sifault: bad aggressor bounds [%d,%d]", cfg.MinAggressors, cfg.MaxAggressors)
 	}
 	sp := NewSpace(s)
 	if sp.Total() < 2 {
-		return nil, fmt.Errorf("sifault: SOC has %d WOC positions; need at least 2", sp.Total())
+		return nil, false, fmt.Errorf("sifault: SOC has %d WOC positions; need at least 2", sp.Total())
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	patterns := make([]*Pattern, 0, cfg.N)
 	for i := 0; i < cfg.N; i++ {
+		if i > 0 && i&511 == 0 && ctx.Err() != nil {
+			return patterns, true, nil
+		}
 		patterns = append(patterns, genOne(sp, cfg, rng))
 	}
-	return patterns, nil
+	return patterns, false, nil
 }
 
 func genOne(sp *Space, cfg GenConfig, rng *rand.Rand) *Pattern {

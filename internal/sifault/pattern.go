@@ -231,23 +231,50 @@ func (sp *Space) BusWidth() int { return sp.busWidth }
 func (sp *Space) CoreOrder() []int { return sp.order }
 
 // Range returns the first position and the WOC count of the given core.
-// It panics on unknown core IDs.
+// It panics on unknown core IDs; use RangeOf when the ID comes from
+// external input.
 func (sp *Space) Range(coreID int) (start, n int) {
-	for i, id := range sp.order {
-		if id == coreID {
-			return sp.starts[i], sp.starts[i+1] - sp.starts[i]
-		}
+	start, n, err := sp.RangeOf(coreID)
+	if err != nil {
+		panic(err.Error())
 	}
-	panic(fmt.Sprintf("sifault: core %d not in space", coreID))
+	return start, n
 }
 
-// CoreAt returns the ID of the core owning a global position.
+// RangeOf returns the first position and the WOC count of the given
+// core, or an error for IDs not in the space. This is the lookup for
+// untrusted core IDs (group files, caller-built groups); Range is the
+// panicking variant for IDs the space itself produced.
+func (sp *Space) RangeOf(coreID int) (start, n int, err error) {
+	for i, id := range sp.order {
+		if id == coreID {
+			return sp.starts[i], sp.starts[i+1] - sp.starts[i], nil
+		}
+	}
+	return 0, 0, fmt.Errorf("sifault: core %d not in space", coreID)
+}
+
+// CoreAt returns the ID of the core owning a global position. It panics
+// on out-of-range positions; use CoreAtPos when the position comes from
+// external input.
 func (sp *Space) CoreAt(pos int32) int {
+	id, err := sp.CoreAtPos(pos)
+	if err != nil {
+		panic(err.Error())
+	}
+	return id
+}
+
+// CoreAtPos returns the ID of the core owning a global position, or an
+// error for positions outside the space. This is the lookup for
+// untrusted positions (pattern files, caller-built patterns); CoreAt is
+// the panicking variant for positions the space itself produced.
+func (sp *Space) CoreAtPos(pos int32) (int, error) {
 	i := sort.Search(len(sp.starts), func(i int) bool { return sp.starts[i] > int(pos) })
 	if i == 0 || int(pos) >= sp.Total() || pos < 0 {
-		panic(fmt.Sprintf("sifault: position %d outside space of %d WOCs", pos, sp.Total()))
+		return 0, fmt.Errorf("sifault: position %d outside space of %d WOCs", pos, sp.Total())
 	}
-	return sp.order[i-1]
+	return sp.order[i-1], nil
 }
 
 // WOCOf returns the WOC count of a core in the space.

@@ -1,0 +1,60 @@
+package sifault
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpaceLookupErrors covers the error-returning lookup variants for
+// untrusted input: unknown core IDs and out-of-range positions come
+// back as errors, while the panicking variants stay consistent with
+// them on valid input.
+func TestSpaceLookupErrors(t *testing.T) {
+	sp := NewSpace(twoCoreSOC())
+
+	for _, id := range []int{0, 3, -1, 42} {
+		if _, _, err := sp.RangeOf(id); err == nil || !strings.Contains(err.Error(), "not in space") {
+			t.Errorf("RangeOf(%d) err = %v, want unknown-core error", id, err)
+		}
+	}
+	for _, id := range sp.CoreOrder() {
+		start, n, err := sp.RangeOf(id)
+		if err != nil {
+			t.Fatalf("RangeOf(%d) err = %v", id, err)
+		}
+		if s2, n2 := sp.Range(id); s2 != start || n2 != n {
+			t.Errorf("Range(%d) = (%d,%d), RangeOf = (%d,%d)", id, s2, n2, start, n)
+		}
+	}
+
+	for _, pos := range []int32{-1, int32(sp.Total()), int32(sp.Total()) + 7} {
+		if _, err := sp.CoreAtPos(pos); err == nil || !strings.Contains(err.Error(), "outside space") {
+			t.Errorf("CoreAtPos(%d) err = %v, want out-of-range error", pos, err)
+		}
+	}
+	for pos := int32(0); pos < int32(sp.Total()); pos++ {
+		id, err := sp.CoreAtPos(pos)
+		if err != nil {
+			t.Fatalf("CoreAtPos(%d) err = %v", pos, err)
+		}
+		if got := sp.CoreAt(pos); got != id {
+			t.Errorf("CoreAt(%d) = %d, CoreAtPos = %d", pos, got, id)
+		}
+	}
+}
+
+// TestSpaceLookupPanickingVariants pins the documented contract of the
+// trusted-input variants: they panic rather than silently misbehave.
+func TestSpaceLookupPanickingVariants(t *testing.T) {
+	sp := NewSpace(twoCoreSOC())
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Range(99)", func() { sp.Range(99) })
+	mustPanic("CoreAt(-5)", func() { sp.CoreAt(-5) })
+}

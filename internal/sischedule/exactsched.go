@@ -1,6 +1,7 @@
 package sischedule
 
 import (
+	"context"
 	"fmt"
 
 	"sitam/internal/tam"
@@ -22,12 +23,28 @@ const MaxExactGroups = 10
 // groups on the architecture (same cost model as ScheduleSITest) and
 // the number of branch-and-bound nodes explored.
 func ExactSchedule(a *tam.Architecture, groups []*Group, m Model) (int64, int, error) {
+	t, nodes, _, err := ExactScheduleCtx(context.Background(), a, groups, m)
+	return t, nodes, err
+}
+
+// ExactScheduleCtx is ExactSchedule as an anytime algorithm. The
+// context is polled every 256 branch-and-bound nodes; on cancellation
+// or deadline expiry the search stops and the best complete schedule
+// found so far is returned with the partial flag set. Because the
+// search enumerates complete active schedules, a partial result is a
+// valid achievable makespan — an upper bound on the true optimum, never
+// below it. If the context fires before any complete schedule was
+// found, the context's error is returned.
+func ExactScheduleCtx(ctx context.Context, a *tam.Architecture, groups []*Group, m Model) (int64, int, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, false, err
+	}
 	times, err := CalculateSITestTime(a, groups, m)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
 	if len(a.Rails) > 64 {
-		return 0, 0, fmt.Errorf("sischedule: exact scheduling supports at most 64 rails, got %d", len(a.Rails))
+		return 0, 0, false, fmt.Errorf("sischedule: exact scheduling supports at most 64 rails, got %d", len(a.Rails))
 	}
 	type job struct {
 		dur  int64
@@ -45,10 +62,10 @@ func ExactSchedule(a *tam.Architecture, groups []*Group, m Model) (int64, int, e
 		jobs = append(jobs, job{times[i].Time, mask})
 	}
 	if len(jobs) > MaxExactGroups {
-		return 0, 0, fmt.Errorf("sischedule: exact scheduling limited to %d groups, got %d", MaxExactGroups, len(jobs))
+		return 0, 0, false, fmt.Errorf("sischedule: exact scheduling limited to %d groups, got %d", MaxExactGroups, len(jobs))
 	}
 	if len(jobs) == 0 {
-		return 0, 0, nil
+		return 0, 0, false, nil
 	}
 
 	// Per-rail total load: a lower bound on the makespan.
@@ -66,10 +83,17 @@ func ExactSchedule(a *tam.Architecture, groups []*Group, m Model) (int64, int, e
 	copy(remaining, railLoad)
 	used := make([]bool, len(jobs))
 	nodes := 0
+	stopped := false
 
 	var dfs func(done int, makespan int64)
 	dfs = func(done int, makespan int64) {
 		nodes++
+		if nodes&255 == 0 && ctx.Err() != nil {
+			stopped = true
+		}
+		if stopped {
+			return
+		}
 		if best >= 0 {
 			// Bound: any completion is at least the current makespan
 			// and at least each rail's free time plus its remaining
@@ -93,6 +117,9 @@ func ExactSchedule(a *tam.Architecture, groups []*Group, m Model) (int64, int, e
 		for i, j := range jobs {
 			if used[i] {
 				continue
+			}
+			if stopped {
+				return
 			}
 			// Earliest feasible start: all involved rails free.
 			var start int64
@@ -130,5 +157,8 @@ func ExactSchedule(a *tam.Architecture, groups []*Group, m Model) (int64, int, e
 		}
 	}
 	dfs(0, 0)
-	return best, nodes, nil
+	if stopped && best < 0 {
+		return 0, nodes, false, ctx.Err()
+	}
+	return best, nodes, stopped, nil
 }

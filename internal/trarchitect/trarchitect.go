@@ -12,6 +12,8 @@
 package trarchitect
 
 import (
+	"context"
+
 	"sitam/internal/core"
 	"sitam/internal/sischedule"
 	"sitam/internal/soc"
@@ -21,11 +23,20 @@ import (
 // Optimize designs a TestRail architecture of total width wmax for s,
 // minimizing the SOC internal test time T_soc_in.
 func Optimize(s *soc.SOC, wmax int) (*tam.Architecture, int64, error) {
+	a, obj, _, err := OptimizeCtx(context.Background(), s, wmax)
+	return a, obj, err
+}
+
+// OptimizeCtx is Optimize as an anytime algorithm, with the same
+// best-so-far semantics as core.(*Engine).OptimizeCtx: interruption
+// mid-search returns the incumbent architecture with Status.Partial
+// set and a nil error.
+func OptimizeCtx(ctx context.Context, s *soc.SOC, wmax int) (*tam.Architecture, int64, core.Status, error) {
 	eng, err := core.NewEngine(s, wmax, core.InTestEvaluator{})
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, core.Status{}, err
 	}
-	return eng.Optimize()
+	return eng.OptimizeCtx(ctx)
 }
 
 // LowerBound returns a lower bound on the achievable SOC internal test
@@ -59,7 +70,14 @@ func LowerBound(s *soc.SOC, wmax int) (int64, error) {
 // total testing time T_soc = T_in + T_si once the SI test groups are
 // scheduled on that SI-oblivious architecture.
 func OptimizeThenScheduleSI(s *soc.SOC, wmax int, groups []*sischedule.Group, m sischedule.Model) (*core.Result, error) {
-	arch, _, err := Optimize(s, wmax)
+	return OptimizeThenScheduleSICtx(context.Background(), s, wmax, groups, m)
+}
+
+// OptimizeThenScheduleSICtx is OptimizeThenScheduleSI as an anytime
+// algorithm: interruption mid-optimization evaluates and returns the
+// best SI-oblivious architecture found so far with Result.Partial set.
+func OptimizeThenScheduleSICtx(ctx context.Context, s *soc.SOC, wmax int, groups []*sischedule.Group, m sischedule.Model) (*core.Result, error) {
+	arch, _, st, err := OptimizeCtx(ctx, s, wmax)
 	if err != nil {
 		return nil, err
 	}
@@ -67,5 +85,5 @@ func OptimizeThenScheduleSI(s *soc.SOC, wmax int, groups []*sischedule.Group, m 
 	if err != nil {
 		return nil, err
 	}
-	return &core.Result{Architecture: arch, Breakdown: bd, Schedule: sched}, nil
+	return &core.Result{Architecture: arch, Breakdown: bd, Schedule: sched, Partial: st.Partial, Reason: st.Reason}, nil
 }

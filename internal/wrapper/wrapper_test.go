@@ -280,3 +280,14 @@ func mustPanic(t *testing.T, name string, f func()) {
 	}()
 	f()
 }
+
+// TestInTestTimeRejectsBadWidth pins the error contract for widths
+// below 1: callers get an error, not a panic, so untrusted width input
+// cannot crash a CLI or embedding process.
+func TestInTestTimeRejectsBadWidth(t *testing.T) {
+	for _, w := range []int{0, -1, -100} {
+		if _, err := InTestTime(testCore(), w); err == nil {
+			t.Errorf("InTestTime(width=%d) accepted, want error", w)
+		}
+	}
+}
