@@ -239,6 +239,14 @@ type (
 	Result = core.Result
 	// Breakdown reports T_in, T_si and their sum.
 	Breakdown = core.Breakdown
+	// ParallelConfig bundles the concurrency and memoization knobs of
+	// the *With optimization entry points: Workers bounds concurrent
+	// candidate evaluations (0 = GOMAXPROCS, 1 = serial) and CacheSize
+	// caps the evaluation cache (0 = default, negative = disabled).
+	ParallelConfig = core.ParallelConfig
+	// CacheStats reports the evaluation cache's hit/miss/eviction
+	// counters for a run.
+	CacheStats = core.CacheStats
 )
 
 // Optimize runs the paper's SI-aware TAM_Optimization (Algorithm 2).
@@ -258,6 +266,17 @@ func OptimizeCtx(ctx context.Context, s *SOC, wmax int, groups []*Group, m Model
 	return core.TAMOptimizationCtx(ctx, s, wmax, groups, m)
 }
 
+// OptimizeWith is OptimizeCtx with parallel candidate evaluation and a
+// memoized evaluation cache per cfg. The independent candidates of each
+// optimization step fan out across a cfg.Workers-sized pool; selection
+// is deterministic, so the returned architecture is byte-identical to a
+// serial run's at any worker count. Result.Cache carries the cache
+// counters of the run.
+func OptimizeWith(ctx context.Context, s *SOC, wmax int, groups []*Group, m Model, cfg ParallelConfig) (res *Result, err error) {
+	defer guard(&err)
+	return core.TAMOptimizationWith(ctx, s, wmax, groups, m, cfg)
+}
+
 // OptimizeBaseline runs the SI-oblivious TR-Architect baseline and then
 // schedules the SI groups on the resulting architecture (the paper's
 // T_[8] protocol).
@@ -271,6 +290,14 @@ func OptimizeBaseline(s *SOC, wmax int, groups []*Group, m Model) (res *Result, 
 func OptimizeBaselineCtx(ctx context.Context, s *SOC, wmax int, groups []*Group, m Model) (res *Result, err error) {
 	defer guard(&err)
 	return trarchitect.OptimizeThenScheduleSICtx(ctx, s, wmax, groups, m)
+}
+
+// OptimizeBaselineWith is OptimizeBaselineCtx with parallel candidate
+// evaluation and memoization per cfg, with the same determinism
+// guarantee as OptimizeWith.
+func OptimizeBaselineWith(ctx context.Context, s *SOC, wmax int, groups []*Group, m Model, cfg ParallelConfig) (res *Result, err error) {
+	defer guard(&err)
+	return trarchitect.OptimizeThenScheduleSIWith(ctx, s, wmax, groups, m, cfg)
 }
 
 // OptimizeILS runs the SI-aware optimization followed by the given
@@ -303,6 +330,33 @@ func OptimizeILSCtx(ctx context.Context, s *SOC, wmax int, groups []*Group, m Mo
 		return nil, err
 	}
 	return &Result{Architecture: arch, Breakdown: bd, Schedule: sched, Partial: st.Partial, Reason: st.Reason}, nil
+}
+
+// OptimizeILSWith is OptimizeILSCtx with parallel candidate evaluation,
+// memoization, and `restarts` independent ILS searches seeded seed,
+// seed+1, ... whose best architecture wins (ties broken by the lowest
+// seed, so the outcome is byte-identical at any worker count).
+// restarts < 1 is an error; restarts == 1 matches OptimizeILSCtx run
+// with cfg exactly. Result.Cache carries the cache counters of the run.
+func OptimizeILSWith(ctx context.Context, s *SOC, wmax int, groups []*Group, m Model, kicks, restarts int, seed int64, cfg ParallelConfig) (res *Result, err error) {
+	defer guard(&err)
+	eng, cache, err := core.NewParallelEngine(s, wmax, &core.SIEvaluator{Groups: groups, Model: m}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	arch, _, st, err := eng.OptimizeILSRestartsCtx(ctx, kicks, restarts, seed)
+	if err != nil {
+		return nil, err
+	}
+	bd, sched, err := core.EvaluateBreakdown(arch, groups, m)
+	if err != nil {
+		return nil, err
+	}
+	res = &Result{Architecture: arch, Breakdown: bd, Schedule: sched, Partial: st.Partial, Reason: st.Reason}
+	if cache != nil {
+		res.Cache = cache.Stats()
+	}
+	return res, nil
 }
 
 // InTestLowerBound returns the Goel-Marinissen lower bound on the

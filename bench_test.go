@@ -12,6 +12,7 @@ package sitam
 // b.ReportMetric.
 
 import (
+	"context"
 	"testing"
 
 	"sitam/internal/compaction"
@@ -332,6 +333,97 @@ func Benchmark_AblationILS(b *testing.B) {
 			b.ReportMetric(float64(obj), "T_soc_cc")
 		})
 	}
+}
+
+// --- Parallel evaluation and memoization benches ---
+
+// benchParallelEval compares the optimization under serial/no-cache,
+// serial/cached and multi-worker/cached configurations; all variants
+// produce byte-identical architectures (see the differential tests),
+// so the comparison isolates wall-clock and cache effects. The cache
+// hit rate of the last run is attached as a metric.
+func benchParallelEval(b *testing.B, name string, wmax int) {
+	s := soc.MustLoadBenchmark(name)
+	patterns, err := sifault.Generate(s, sifault.GenConfig{N: 10000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gr, err := core.BuildGroups(s, patterns, core.GroupingOptions{Parts: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sischedule.DefaultModel()
+	for _, bc := range []struct {
+		name string
+		cfg  core.ParallelConfig
+	}{
+		{"serial_nocache", core.ParallelConfig{Workers: 1, CacheSize: -1}},
+		{"serial_cache", core.ParallelConfig{Workers: 1}},
+		{"workers2_cache", core.ParallelConfig{Workers: 2}},
+		{"workers8_cache", core.ParallelConfig{Workers: 8}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var hitRate float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.TAMOptimizationWith(context.Background(), s, wmax, gr.Groups, m, bc.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hitRate = res.Cache.HitRate()
+			}
+			if hitRate > 0 {
+				b.ReportMetric(100*hitRate, "cache_hit_%")
+			}
+		})
+	}
+}
+
+func Benchmark_ParallelEvalP34392W64(b *testing.B) { benchParallelEval(b, "p34392", 64) }
+func Benchmark_ParallelEvalP93791W64(b *testing.B) { benchParallelEval(b, "p93791", 64) }
+
+// Benchmark_CacheColdVsWarm isolates the memoization win: cold resets
+// the cache before every optimization; warm reuses the populated cache
+// across runs, so repeat optimizations of the same workload answer
+// almost every evaluation from the cache.
+func Benchmark_CacheColdVsWarm(b *testing.B) {
+	s := soc.MustLoadBenchmark("p34392")
+	patterns, err := sifault.Generate(s, sifault.GenConfig{N: 10000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gr, err := core.BuildGroups(s, patterns, core.GroupingOptions{Parts: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, cache, err := core.NewParallelEngine(s, 64,
+		&core.SIEvaluator{Groups: gr.Groups, Model: sischedule.DefaultModel()},
+		core.ParallelConfig{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cache.Reset()
+			if _, _, _, err := eng.OptimizeCtx(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(100*cache.Stats().HitRate(), "cache_hit_%")
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache.Reset()
+		if _, _, _, err := eng.OptimizeCtx(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		cache.ResetStats() // keep entries, count only the timed runs below
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := eng.OptimizeCtx(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(100*cache.Stats().HitRate(), "cache_hit_%")
+	})
 }
 
 // Benchmark_AblationSchedulingOverlap compares Algorithm 1's

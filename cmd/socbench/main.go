@@ -26,6 +26,7 @@ import (
 	"os"
 
 	"sitam/cmd/internal/cli"
+	"sitam/internal/core"
 	"sitam/internal/experiments"
 	"sitam/internal/soc"
 )
@@ -41,6 +42,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		ablation = flag.Bool("ablation", false, "run ablation sweeps instead of the main tables")
 		coverage = flag.Bool("coverage", false, "run the SI fault coverage experiment instead of the main tables")
+		workers  = flag.Int("workers", 0, "concurrent candidate evaluations per optimization (0 = GOMAXPROCS, 1 = serial); table numbers are identical at any worker count")
 		timeout  = flag.Duration("timeout", 0, "deadline; on expiry the completed cells are printed and the exit code is 3 (0 = none)")
 	)
 	flag.Parse()
@@ -90,7 +92,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg := experiments.TableConfig{Seed: *seed, Progress: progress}
+		cfg := experiments.TableConfig{
+			Seed: *seed, Progress: progress,
+			Parallel: core.ParallelConfig{Workers: *workers, CacheSize: core.DefaultCacheSize},
+		}
 		if *quick {
 			cfg.Widths = []int{16, 32, 64}
 			cfg.Nr = []int{10000}

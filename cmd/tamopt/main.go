@@ -48,6 +48,9 @@ func main() {
 		gantt    = flag.Bool("gantt", false, "render the SI schedule as an ASCII Gantt chart")
 		jsonOut  = flag.String("json", "", "also write the result as JSON to this file (\"-\" for stdout)")
 		ils      = flag.Int("ils", 0, "iterated-local-search kicks after the greedy optimization (0 = paper's algorithm)")
+		restarts = flag.Int("restarts", 1, "independent ILS restarts with seeds seed, seed+1, ... (only with -ils > 0)")
+		workers  = flag.Int("workers", 0, "concurrent candidate evaluations (0 = GOMAXPROCS, 1 = serial); results are identical at any worker count")
+		cache    = flag.Int("cache", 0, "evaluation cache capacity in entries (0 = default, negative = disabled)")
 		timeout  = flag.Duration("timeout", 0, "overall deadline; on expiry the best result so far is printed and the exit code is 3 (0 = none)")
 	)
 	flag.Parse()
@@ -57,7 +60,9 @@ func main() {
 
 	partial, reason, err := run(ctx, options{
 		socName: *socName, file: *file, wmax: *wmax, nr: *nr, parts: *parts,
-		seed: *seed, baseline: *baseline, gantt: *gantt, jsonOut: *jsonOut, ils: *ils,
+		seed: *seed, baseline: *baseline, gantt: *gantt, jsonOut: *jsonOut,
+		ils: *ils, restarts: *restarts,
+		cfg: core.ParallelConfig{Workers: *workers, CacheSize: *cache},
 	})
 	stop()
 	if err != nil {
@@ -76,10 +81,11 @@ func main() {
 }
 
 type options struct {
-	socName, file, jsonOut string
-	wmax, nr, parts, ils   int
-	seed                   int64
-	baseline, gantt        bool
+	socName, file, jsonOut         string
+	wmax, nr, parts, ils, restarts int
+	seed                           int64
+	baseline, gantt                bool
+	cfg                            core.ParallelConfig
 }
 
 // run executes the pipeline and reports whether any stage returned a
@@ -117,16 +123,17 @@ func run(ctx context.Context, o options) (partial bool, reason string, err error
 	var res *core.Result
 	switch {
 	case o.baseline:
-		res, err = trarchitect.OptimizeThenScheduleSICtx(ctx, s, o.wmax, grouping.Groups, model)
+		res, err = trarchitect.OptimizeThenScheduleSIWith(ctx, s, o.wmax, grouping.Groups, model, o.cfg)
 	case o.ils > 0:
 		var eng *core.Engine
-		eng, err = core.NewEngine(s, o.wmax, &core.SIEvaluator{Groups: grouping.Groups, Model: model})
+		var cache *core.CachedEvaluator
+		eng, cache, err = core.NewParallelEngine(s, o.wmax, &core.SIEvaluator{Groups: grouping.Groups, Model: model}, o.cfg)
 		if err != nil {
 			break
 		}
 		var arch *tam.Architecture
 		var st core.Status
-		arch, _, st, err = eng.OptimizeILSCtx(ctx, o.ils, o.seed)
+		arch, _, st, err = eng.OptimizeILSRestartsCtx(ctx, o.ils, o.restarts, o.seed)
 		if err != nil {
 			break
 		}
@@ -134,14 +141,23 @@ func run(ctx context.Context, o options) (partial bool, reason string, err error
 		var sched *sischedule.Schedule
 		bd, sched, err = core.EvaluateBreakdown(arch, grouping.Groups, model)
 		res = &core.Result{Architecture: arch, Breakdown: bd, Schedule: sched, Partial: st.Partial, Reason: st.Reason}
+		if cache != nil {
+			res.Cache = cache.Stats()
+		}
 	default:
-		res, err = core.TAMOptimizationCtx(ctx, s, o.wmax, grouping.Groups, model)
+		res, err = core.TAMOptimizationWith(ctx, s, o.wmax, grouping.Groups, model, o.cfg)
 	}
 	if err != nil {
 		return false, "", err
 	}
 	if res.Partial && !partial {
 		partial, reason = true, res.Reason
+	}
+	// Cache counters are timing-dependent under concurrency, so they go
+	// to stderr, keeping stdout byte-stable for golden comparisons.
+	if st := res.Cache; st.Hits+st.Misses > 0 {
+		log.Printf("eval cache: %d hits, %d misses (%.1f%% hit rate), %d evictions",
+			st.Hits, st.Misses, 100*st.HitRate(), st.Evictions)
 	}
 
 	fmt.Println()

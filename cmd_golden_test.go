@@ -1,0 +1,164 @@
+package sitam
+
+// Golden-file regression tests for the CLI tools: stdout of fixed-seed
+// runs is compared byte-for-byte against files under testdata/golden.
+// Regenerate with:
+//
+//	go test -run TestGolden -update
+//
+// Each case is also a CLI-level differential check: the same command
+// re-run at a different -workers count must reproduce the golden
+// stdout exactly (cache counters go to stderr, which is not golden).
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+// goldenRun executes a tool capturing stdout alone and returns it with
+// the exit code; stderr is logged for diagnosis only.
+func goldenRun(t *testing.T, name string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binaries(t), name), args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v\nstderr: %s", name, args, err, stderr.String())
+		}
+		code = ee.ExitCode()
+	}
+	if stderr.Len() > 0 {
+		t.Logf("%s stderr:\n%s", name, stderr.String())
+	}
+	return stdout.String(), code
+}
+
+// checkGolden compares got against testdata/golden/<file>, rewriting
+// the file under -update.
+func checkGolden(t *testing.T, file, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", file)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestGolden -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("stdout differs from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// goldenCases are the fixed-seed CLI invocations under golden lockdown.
+// wantCode is the expected exit status; workers sweeps re-run the same
+// command at several -workers values, all of which must match the one
+// golden file.
+var goldenCases = []struct {
+	name     string
+	file     string
+	tool     string
+	args     []string
+	wantCode int
+	workers  []string // -workers values to sweep; empty = run args as-is once
+}{
+	{
+		name: "tamopt_d695",
+		file: "tamopt_d695.golden",
+		tool: "tamopt",
+		args: []string{"-soc", "d695", "-w", "12", "-nr", "1500", "-g", "2", "-seed", "1"},
+
+		workers: []string{"1", "2", "8"},
+	},
+	{
+		name: "tamopt_d695_ils_restarts",
+		file: "tamopt_d695_ils_restarts.golden",
+		tool: "tamopt",
+		args: []string{"-soc", "d695", "-w", "12", "-nr", "1500", "-g", "2", "-seed", "1",
+			"-ils", "3", "-restarts", "2"},
+
+		workers: []string{"1", "8"},
+	},
+	{
+		// -timeout 1ns expires before the first pattern is generated, so
+		// the run deterministically takes the "nothing usable yet" path:
+		// SOC summary, then the RESULT PARTIAL (deadline) marker, exit 3.
+		name:     "tamopt_partial_deadline",
+		file:     "tamopt_partial_deadline.golden",
+		tool:     "tamopt",
+		args:     []string{"-soc", "d695", "-w", "12", "-nr", "1500", "-g", "2", "-seed", "1", "-timeout", "1ns"},
+		wantCode: 3,
+		workers:  []string{"1", "8"},
+	},
+	{
+		// Markdown output carries no elapsed-time line, so the quick
+		// sweep is byte-stable (Format's header is not).
+		name:    "socbench_quick_p34392",
+		file:    "socbench_quick_p34392.golden",
+		tool:    "socbench",
+		args:    []string{"-quick", "-soc", "p34392", "-markdown", "-seed", "1"},
+		workers: []string{"1", "8"},
+	},
+}
+
+func TestGoldenCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden CLI runs take a few seconds")
+	}
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			sweeps := tc.workers
+			if len(sweeps) == 0 {
+				sweeps = []string{""}
+			}
+			var first string
+			for i, w := range sweeps {
+				args := tc.args
+				if w != "" {
+					args = append(append([]string{}, args...), "-workers", w)
+				}
+				out, code := goldenRun(t, tc.tool, args...)
+				if code != tc.wantCode {
+					t.Fatalf("workers=%q: exit code %d, want %d\n%s", w, code, tc.wantCode, out)
+				}
+				if i == 0 {
+					first = out
+					checkGolden(t, tc.file, out)
+					continue
+				}
+				if out != first {
+					t.Errorf("workers=%q stdout differs from workers=%q:\n%s", w, sweeps[0], diffHint(first, out))
+				}
+			}
+		})
+	}
+}
+
+// diffHint points at the first line where two outputs diverge.
+func diffHint(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n-%s\n+%s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}

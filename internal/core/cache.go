@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sitam/internal/tam"
+)
+
+// This file implements the memoized cost cache behind the parallel
+// candidate evaluation layer. The optimization loops of Fig. 6
+// re-evaluate T_soc = T_soc_in + T_soc_si for thousands of candidate
+// architectures, and the same rail composition recurs across merge
+// rounds, the remaining-rails sweep, ILS local searches and winner
+// reconstruction. The objective is a pure function of the rail
+// composition — per-rail InTest times depend only on (cores, width),
+// and Algorithm 1's T_soc_si and per-rail busy times are invariant
+// under rail permutation (the group conflict relation is defined on
+// rail identities, not indices) — so a canonical sorted-composition
+// key memoizes it exactly.
+
+// DefaultCacheSize is the entry capacity used when a CachedEvaluator
+// is built with a non-positive capacity.
+const DefaultCacheSize = 1 << 16
+
+// CacheStats is a snapshot of a CachedEvaluator's counters.
+type CacheStats struct {
+	// Hits and Misses count Evaluate calls answered from the cache and
+	// forwarded to the inner evaluator.
+	Hits, Misses int64
+
+	// Evictions counts epoch flushes: the cache drops all entries when
+	// it reaches capacity.
+	Evictions int64
+
+	// Entries is the current number of cached compositions.
+	Entries int
+}
+
+// HitRate returns the fraction of Evaluate calls answered from the
+// cache, in [0, 1].
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// cachedRail preserves the bookkeeping side effects of one rail's
+// evaluation, keyed by the rail's composition ("cores@width").
+type cachedRail struct {
+	key            string
+	timeIn, timeSI int64
+}
+
+type cacheEntry struct {
+	obj   int64
+	rails []cachedRail // sorted by key
+}
+
+// CachedEvaluator memoizes an Evaluator by rail composition. It is
+// safe for concurrent use: the worker pool's candidate evaluations
+// share one cache. Values are pure, so a racing double-miss stores the
+// same entry twice and determinism is unaffected (only the hit/miss
+// counters are timing-dependent under concurrency).
+type CachedEvaluator struct {
+	// Inner is the wrapped evaluator consulted on a miss.
+	Inner Evaluator
+
+	capacity     int
+	hits, misses atomic.Int64
+	evictions    atomic.Int64
+	mu           sync.Mutex
+	entries      map[string]*cacheEntry
+}
+
+// NewCachedEvaluator wraps inner with a memoization cache holding at
+// most capacity compositions (DefaultCacheSize when capacity <= 0).
+// When full, the cache is flushed whole — epoch eviction keeps the
+// bookkeeping trivially deterministic and the steady-state hit rate
+// recovers within one merge round.
+func NewCachedEvaluator(inner Evaluator, capacity int) *CachedEvaluator {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &CachedEvaluator{
+		Inner:    inner,
+		capacity: capacity,
+		entries:  make(map[string]*cacheEntry),
+	}
+}
+
+// railCompKey returns one rail's composition key: its core-ID
+// signature plus its width.
+func railCompKey(r *tam.Rail) string {
+	return railKey(r) + "@" + strconv.Itoa(r.Width)
+}
+
+// archKey returns the architecture's canonical composition key: the
+// sorted rail composition keys. perRail receives the unsorted per-rail
+// keys, index-aligned with a.Rails, for restoring bookkeeping on a hit.
+func archKey(a *tam.Architecture) (key string, perRail []string) {
+	perRail = make([]string, len(a.Rails))
+	for i, r := range a.Rails {
+		perRail[i] = railCompKey(r)
+	}
+	sorted := append([]string(nil), perRail...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, ";"), perRail
+}
+
+// Evaluate implements Evaluator. On a hit it restores the per-rail
+// TimeIn/TimeSI bookkeeping exactly as a fresh inner evaluation would
+// have set it; on a miss it forwards to the inner evaluator and caches
+// the outcome. Errors are never cached.
+func (c *CachedEvaluator) Evaluate(a *tam.Architecture) (int64, error) {
+	key, perRail := archKey(a)
+	c.mu.Lock()
+	ent, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		for i, r := range a.Rails {
+			j := sort.Search(len(ent.rails), func(j int) bool { return ent.rails[j].key >= perRail[i] })
+			r.TimeIn, r.TimeSI = ent.rails[j].timeIn, ent.rails[j].timeSI
+		}
+		return ent.obj, nil
+	}
+	c.misses.Add(1)
+	obj, err := c.Inner.Evaluate(a)
+	if err != nil {
+		return 0, err
+	}
+	ent = &cacheEntry{obj: obj, rails: make([]cachedRail, len(a.Rails))}
+	for i, r := range a.Rails {
+		ent.rails[i] = cachedRail{key: perRail[i], timeIn: r.TimeIn, timeSI: r.TimeSI}
+	}
+	sort.Slice(ent.rails, func(i, j int) bool { return ent.rails[i].key < ent.rails[j].key })
+	c.mu.Lock()
+	if len(c.entries) >= c.capacity {
+		c.entries = make(map[string]*cacheEntry)
+		c.evictions.Add(1)
+	}
+	c.entries[key] = ent
+	c.mu.Unlock()
+	return obj, nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *CachedEvaluator) Stats() CacheStats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   n,
+	}
+}
+
+// Reset drops all entries and zeroes the counters (used by the
+// cold-vs-warm benchmarks).
+func (c *CachedEvaluator) Reset() {
+	c.mu.Lock()
+	c.entries = make(map[string]*cacheEntry)
+	c.mu.Unlock()
+	c.ResetStats()
+}
+
+// ResetStats zeroes the counters while keeping the cached entries, so
+// warm-cache hit rates can be measured without the priming misses.
+func (c *CachedEvaluator) ResetStats() {
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+}

@@ -19,6 +19,13 @@ type Engine struct {
 	Wmax  int
 	Times *wrapper.TimeTable
 	Eval  Evaluator
+
+	// Par fans independent candidate evaluations across a bounded
+	// worker pool. nil (the NewEngine default) evaluates serially;
+	// either way the selected architectures are byte-identical — see
+	// parallel.go. When Par is used with a concurrency-unsafe
+	// Evaluator, wrap the evaluator or keep Workers at 1.
+	Par *ParallelEvaluator
 }
 
 // Status reports how an anytime optimization run ended: a complete run
@@ -203,17 +210,21 @@ func (e *Engine) startSolution(ctx context.Context) (*tam.Architecture, int64, e
 			// the objective. Start-solution rails all have width 1 and
 			// stay width 1.
 			victim := e.Wmax
-			best := -1
-			var bestObj int64
-			for i := 0; i < e.Wmax; i++ {
-				cand := a.Clone()
+			res, err := e.Par.mapCandidates(ctx, a, e.Wmax, func(cand *tam.Architecture, i int) (int64, int64, error) {
 				mergeInto(cand, i, victim, 1)
 				o, err := e.Eval.Evaluate(cand)
-				if err != nil {
-					return nil, 0, err
-				}
-				if best < 0 || o < bestObj {
-					best, bestObj = i, o
+				return o, 0, err
+			})
+			if err != nil {
+				// Context errors included: mid-merge-down the
+				// architecture is not feasible yet.
+				return nil, 0, err
+			}
+			best := -1
+			var bestObj int64
+			for i, r := range res {
+				if best < 0 || r.obj < bestObj {
+					best, bestObj = i, r.obj
 				}
 			}
 			mergeInto(a, best, victim, 1)
@@ -222,7 +233,7 @@ func (e *Engine) startSolution(ctx context.Context) (*tam.Architecture, int64, e
 			}
 		}
 	} else if free := e.Wmax - len(a.Rails); free > 0 {
-		if obj, err = e.distributeFreeWires(ctx, a, free); err != nil {
+		if obj, err = e.distributeFreeWires(ctx, a, free, e.Par); err != nil {
 			if isCtxErr(err) {
 				// a is feasible with some wires undistributed.
 				return a, 0, err
@@ -250,34 +261,44 @@ func mergeInto(a *tam.Architecture, dst, src int, width int) {
 // utilized time. It returns the objective of the final widened
 // architecture. Context interruption is checked between wires, so a
 // is always left in a consistent (if under-widened) state.
-func (e *Engine) distributeFreeWires(ctx context.Context, a *tam.Architecture, free int) (int64, error) {
+//
+// The widening trials of one wire are independent and fan out on pe;
+// callers already running inside a worker (the per-candidate calls in
+// mergeTAMs) pass nil to stay serial and keep the pool bounded.
+func (e *Engine) distributeFreeWires(ctx context.Context, a *tam.Architecture, free int, pe *ParallelEvaluator) (int64, error) {
 	for ; free > 0; free-- {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		best := -1
-		var bestObj int64
-		var bestUsed int64
+		widen := make([]int, 0, len(a.Rails))
 		for i := range a.Rails {
-			if a.Rails[i].Width >= e.Wmax {
-				continue
-			}
-			a.Rails[i].Width++
-			o, err := e.Eval.Evaluate(a)
-			if err != nil {
-				a.Rails[i].Width--
-				return 0, err
-			}
-			u := a.Rails[i].TimeUsed()
-			a.Rails[i].Width--
-			if best < 0 || o < bestObj || (o == bestObj && u > bestUsed) {
-				best, bestObj, bestUsed = i, o, u
+			if a.Rails[i].Width < e.Wmax {
+				widen = append(widen, i)
 			}
 		}
-		if best < 0 {
+		if len(widen) == 0 {
 			break // every rail already at Wmax
 		}
-		a.Rails[best].Width++
+		res, err := pe.mapCandidates(ctx, a, len(widen), func(cand *tam.Architecture, i int) (int64, int64, error) {
+			r := cand.Rails[widen[i]]
+			r.Width++
+			o, err := e.Eval.Evaluate(cand)
+			if err != nil {
+				return 0, 0, err
+			}
+			return o, r.TimeUsed(), nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		best := -1
+		var bestObj, bestUsed int64
+		for i, r := range res {
+			if best < 0 || r.obj < bestObj || (r.obj == bestObj && r.aux > bestUsed) {
+				best, bestObj, bestUsed = i, r.obj, r.aux
+			}
+		}
+		a.Rails[widen[best]].Width++
 	}
 	return e.Eval.Evaluate(a)
 }
@@ -290,8 +311,9 @@ func (e *Engine) distributeFreeWires(ctx context.Context, a *tam.Architecture, f
 // candidate evaluation; an interruption aborts the enumeration and
 // propagates the context error, leaving the caller's incumbent intact.
 func (e *Engine) mergeTAMs(ctx context.Context, a *tam.Architecture, curObj int64, r1 int) (*tam.Architecture, int64, error) {
-	bestA, bestObj := a, curObj
 	w1 := a.Rails[r1].Width
+	type mergeSpec struct{ ri, w int }
+	var specs []mergeSpec
 	for ri := range a.Rails {
 		if ri == r1 {
 			continue
@@ -306,40 +328,48 @@ func (e *Engine) mergeTAMs(ctx context.Context, a *tam.Architecture, curObj int6
 			hi = e.Wmax
 		}
 		for w := lo; w <= hi; w++ {
-			if err := ctx.Err(); err != nil {
-				return nil, 0, err
-			}
-			cand := a.Clone()
-			dst, src := ri, r1
-			if dst > src {
-				// mergeInto removes src; keep indices valid by always
-				// merging the higher index into the lower.
-				dst, src = src, dst
-			}
-			cand.Rails[dst].Cores = append(cand.Rails[dst].Cores, cand.Rails[src].Cores...)
-			sort.Ints(cand.Rails[dst].Cores)
-			cand.Rails[dst].Width = w
-			cand.Rails = append(cand.Rails[:src], cand.Rails[src+1:]...)
-			if leftover := w1 + wi - w; leftover > 0 {
-				if _, err := e.distributeFreeWires(ctx, cand, leftover); err != nil {
-					return nil, 0, err
-				}
-			}
-			o, err := e.Eval.Evaluate(cand)
-			if err != nil {
-				return nil, 0, err
-			}
-			if o < bestObj {
-				bestA, bestObj = cand, o
-			}
+			specs = append(specs, mergeSpec{ri, w})
 		}
 	}
-	if bestA != a {
-		if _, err := e.Eval.Evaluate(bestA); err != nil {
-			return nil, 0, err
+	build := func(cand *tam.Architecture, i int) (int64, int64, error) {
+		sp := specs[i]
+		wi := cand.Rails[sp.ri].Width
+		dst, src := sp.ri, r1
+		if dst > src {
+			// mergeInto removes src; keep indices valid by always
+			// merging the higher index into the lower.
+			dst, src = src, dst
+		}
+		cand.Rails[dst].Cores = append(cand.Rails[dst].Cores, cand.Rails[src].Cores...)
+		sort.Ints(cand.Rails[dst].Cores)
+		cand.Rails[dst].Width = sp.w
+		cand.Rails = append(cand.Rails[:src], cand.Rails[src+1:]...)
+		if leftover := w1 + wi - sp.w; leftover > 0 {
+			if _, err := e.distributeFreeWires(ctx, cand, leftover, nil); err != nil {
+				return 0, 0, err
+			}
+		}
+		o, err := e.Eval.Evaluate(cand)
+		return o, 0, err
+	}
+	res, err := e.Par.mapCandidates(ctx, a, len(specs), build)
+	if err != nil {
+		return nil, 0, err
+	}
+	best, bestObj := -1, curObj
+	for i, r := range res {
+		if r.obj < bestObj {
+			best, bestObj = i, r.obj
 		}
 	}
-	return bestA, bestObj, nil
+	if best < 0 {
+		return a, curObj, nil
+	}
+	winner, err := rebuild(a, best, build)
+	if err != nil {
+		return nil, 0, err
+	}
+	return winner, bestObj, nil
 }
 
 // coreReshuffle implements Line 37: iteratively move one core from a
@@ -352,40 +382,44 @@ func (e *Engine) coreReshuffle(ctx context.Context, a *tam.Architecture, curObj 
 			coreID   int
 			from, to int
 		}
-		best := cmove{coreID: -1}
-		bestObj := curObj
-		var bestA *tam.Architecture
+		var specs []cmove
 		for _, from := range sources {
 			if len(a.Rails[from].Cores) <= 1 {
 				continue
 			}
 			for _, id := range a.Rails[from].Cores {
-				if err := ctx.Err(); err != nil {
-					return nil, 0, err
-				}
 				for to := range a.Rails {
-					if to == from {
-						continue
-					}
-					cand := a.Clone()
-					removeCore(cand.Rails[from], id)
-					insertCore(cand.Rails[to], id)
-					o, err := e.Eval.Evaluate(cand)
-					if err != nil {
-						return nil, 0, err
-					}
-					if o < bestObj {
-						bestObj = o
-						best = cmove{id, from, to}
-						bestA = cand
+					if to != from {
+						specs = append(specs, cmove{id, from, to})
 					}
 				}
 			}
 		}
-		if best.coreID < 0 {
+		build := func(cand *tam.Architecture, i int) (int64, int64, error) {
+			mv := specs[i]
+			removeCore(cand.Rails[mv.from], mv.coreID)
+			insertCore(cand.Rails[mv.to], mv.coreID)
+			o, err := e.Eval.Evaluate(cand)
+			return o, 0, err
+		}
+		res, err := e.Par.mapCandidates(ctx, a, len(specs), build)
+		if err != nil {
+			return nil, 0, err
+		}
+		best, bestObj := -1, curObj
+		for i, r := range res {
+			if r.obj < bestObj {
+				best, bestObj = i, r.obj
+			}
+		}
+		if best < 0 {
 			return a, curObj, nil
 		}
-		a, curObj = bestA, bestObj
+		winner, err := rebuild(a, best, build)
+		if err != nil {
+			return nil, 0, err
+		}
+		a, curObj = winner, bestObj
 	}
 }
 

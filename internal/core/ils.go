@@ -77,6 +77,76 @@ func (e *Engine) OptimizeILSCtx(ctx context.Context, kicks int, seed int64) (*ta
 	return best, bestObj, Status{}, nil
 }
 
+// OptimizeILSRestarts runs `restarts` independent ILS searches with
+// seeds seed, seed+1, ..., seed+restarts-1 and returns the best
+// architecture found. Restarts are mutually independent, so with a
+// parallel evaluator they fan out across the worker pool (each restart
+// then evaluates serially inside, keeping total concurrency bounded);
+// the reduction picks the smallest objective, ties broken by the
+// lowest seed, so the outcome is byte-identical at any worker count.
+func (e *Engine) OptimizeILSRestarts(kicks, restarts int, seed int64) (*tam.Architecture, int64, error) {
+	a, obj, _, err := e.OptimizeILSRestartsCtx(context.Background(), kicks, restarts, seed)
+	return a, obj, err
+}
+
+// OptimizeILSRestartsCtx is OptimizeILSRestarts as an anytime
+// algorithm: on cancellation or deadline expiry the best architecture
+// any restart produced so far is returned with Status.Partial set and
+// a nil error; the context's error comes back only when no restart
+// produced anything.
+func (e *Engine) OptimizeILSRestartsCtx(ctx context.Context, kicks, restarts int, seed int64) (*tam.Architecture, int64, Status, error) {
+	if restarts < 1 {
+		return nil, 0, Status{}, fmt.Errorf("core: restart count %d < 1", restarts)
+	}
+	if restarts == 1 {
+		return e.OptimizeILSCtx(ctx, kicks, seed)
+	}
+	type outcome struct {
+		a   *tam.Architecture
+		obj int64
+		st  Status
+		err error
+	}
+	res := make([]outcome, restarts)
+	run := func(i int) {
+		// Each restart searches serially: concurrency lives at the
+		// restart level, so the pool stays bounded by Par.Workers.
+		inner := *e
+		inner.Par = nil
+		r := &res[i]
+		r.a, r.obj, r.st, r.err = inner.OptimizeILSCtx(ctx, kicks, seed+int64(i))
+	}
+	if k := e.Par.workers(); k > 1 {
+		parallelFor(k, restarts, func(_, i int) { run(i) })
+	} else {
+		for i := 0; i < restarts; i++ {
+			run(i)
+		}
+	}
+	best := -1
+	partial := Status{}
+	for i := range res {
+		r := &res[i]
+		if r.err != nil {
+			if isCtxErr(r.err) {
+				partial = Status{Partial: true, Reason: stopReason(r.err, fmt.Sprintf("ILS restart %d/%d", i+1, restarts))}
+				continue
+			}
+			return nil, 0, Status{}, r.err
+		}
+		if r.st.Partial {
+			partial = Status{Partial: true, Reason: r.st.Reason}
+		}
+		if best < 0 || r.obj < res[best].obj {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, 0, Status{}, ctx.Err()
+	}
+	return res[best].a, res[best].obj, partial, nil
+}
+
 // localSearch re-runs the polishing loops of Optimize on an existing
 // architecture: bottom-up merges, then reshuffle.
 func (e *Engine) localSearch(ctx context.Context, a *tam.Architecture, obj int64) (*tam.Architecture, int64, error) {

@@ -293,4 +293,9 @@ type Result struct {
 	// Reason describes what was interrupted when Partial is set, e.g.
 	// "deadline exceeded during bottom-up merge".
 	Reason string
+
+	// Cache holds the evaluation-cache counters of the run, when the
+	// optimization ran with memoization (TAMOptimizationWith and the
+	// cfg-aware facade entry points); zero otherwise.
+	Cache CacheStats
 }

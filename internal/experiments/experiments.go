@@ -45,6 +45,12 @@ type TableConfig struct {
 
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress io.Writer
+
+	// Parallel configures candidate-evaluation concurrency and
+	// memoization for every optimization in the sweep. The zero value
+	// runs serially without a cache, matching the historical behavior;
+	// any setting yields byte-identical table numbers.
+	Parallel core.ParallelConfig
 }
 
 func (c TableConfig) withDefaults() TableConfig {
@@ -130,6 +136,17 @@ type GroupingStat struct {
 	Groups    int
 }
 
+// parCfg resolves TableConfig.Parallel: the zero value selects the
+// historical serial, cache-free path; anything else passes through
+// (with core's own zero-value conventions: Workers 0 = GOMAXPROCS,
+// CacheSize 0 = DefaultCacheSize).
+func parCfg(cfg TableConfig) core.ParallelConfig {
+	if cfg.Parallel == (core.ParallelConfig{}) {
+		return core.ParallelConfig{Workers: 1, CacheSize: -1}
+	}
+	return cfg.Parallel
+}
+
 // RunTable reproduces one of the paper's tables for SOC s.
 func RunTable(s *soc.SOC, cfg TableConfig) (*Table, error) {
 	return RunTableCtx(context.Background(), s, cfg)
@@ -212,7 +229,7 @@ func RunTableCtx(ctx context.Context, s *soc.SOC, cfg TableConfig) (*Table, erro
 			// Baseline: InTest-only architecture, then the SI tests
 			// (best grouping for that fixed architecture, so the
 			// baseline is not penalized by the grouping choice).
-			arch, _, st, err := trarchitect.OptimizeCtx(ctx, s, w)
+			arch, _, st, err := trarchitect.OptimizeWithCtx(ctx, s, w, parCfg(cfg))
 			if err != nil {
 				return nil, err
 			}
@@ -232,7 +249,7 @@ func RunTableCtx(ctx context.Context, s *soc.SOC, cfg TableConfig) (*Table, erro
 
 			// SI-aware optimization per grouping count.
 			for _, g := range cfg.Groupings {
-				res, err := core.TAMOptimizationCtx(ctx, s, w, groupsByG[g], cfg.Model)
+				res, err := core.TAMOptimizationWith(ctx, s, w, groupsByG[g], cfg.Model, parCfg(cfg))
 				if err != nil {
 					return nil, err
 				}

@@ -149,6 +149,26 @@ func (a *Architecture) Clone() *Architecture {
 	return c
 }
 
+// CopyFrom resets a to a deep copy of src (sharing the immutable SOC
+// and time table), reusing a's existing rail structs and core-ID
+// slices. It is the scratch-reuse counterpart of Clone: a candidate
+// evaluator can rebuild many trial architectures into one scratch
+// without allocating a fresh clone per candidate. Rails are only ever
+// grown by appending fresh structs, so a scratch that previously held
+// a shrunk rail slice never resurrects stale rail pointers.
+func (a *Architecture) CopyFrom(src *Architecture) {
+	a.SOC, a.Times = src.SOC, src.Times
+	for len(a.Rails) < len(src.Rails) {
+		a.Rails = append(a.Rails, &Rail{})
+	}
+	a.Rails = a.Rails[:len(src.Rails)]
+	for i, r := range src.Rails {
+		dst := a.Rails[i]
+		dst.Cores = append(dst.Cores[:0], r.Cores...)
+		dst.Width, dst.TimeIn, dst.TimeSI = r.Width, r.TimeIn, r.TimeSI
+	}
+}
+
 // Validate checks that the rails form a partition of the SOC's cores and
 // that every rail has positive width.
 func (a *Architecture) Validate() error {

@@ -39,6 +39,17 @@ func OptimizeCtx(ctx context.Context, s *soc.SOC, wmax int) (*tam.Architecture, 
 	return eng.OptimizeCtx(ctx)
 }
 
+// OptimizeWithCtx is OptimizeCtx with parallel candidate evaluation
+// and a memoized evaluation cache per cfg (see core.ParallelConfig).
+// The selected architecture is byte-identical at any worker count.
+func OptimizeWithCtx(ctx context.Context, s *soc.SOC, wmax int, cfg core.ParallelConfig) (*tam.Architecture, int64, core.Status, error) {
+	eng, _, err := core.NewParallelEngine(s, wmax, core.InTestEvaluator{}, cfg)
+	if err != nil {
+		return nil, 0, core.Status{}, err
+	}
+	return eng.OptimizeCtx(ctx)
+}
+
 // LowerBound returns a lower bound on the achievable SOC internal test
 // time at total TAM width wmax, after Goel and Marinissen: no schedule
 // can beat either the largest single-core test time at full width (a
@@ -77,7 +88,13 @@ func OptimizeThenScheduleSI(s *soc.SOC, wmax int, groups []*sischedule.Group, m 
 // algorithm: interruption mid-optimization evaluates and returns the
 // best SI-oblivious architecture found so far with Result.Partial set.
 func OptimizeThenScheduleSICtx(ctx context.Context, s *soc.SOC, wmax int, groups []*sischedule.Group, m sischedule.Model) (*core.Result, error) {
-	arch, _, st, err := OptimizeCtx(ctx, s, wmax)
+	return OptimizeThenScheduleSIWith(ctx, s, wmax, groups, m, core.ParallelConfig{Workers: 1, CacheSize: -1})
+}
+
+// OptimizeThenScheduleSIWith is OptimizeThenScheduleSICtx with
+// parallel candidate evaluation and memoization per cfg.
+func OptimizeThenScheduleSIWith(ctx context.Context, s *soc.SOC, wmax int, groups []*sischedule.Group, m sischedule.Model, cfg core.ParallelConfig) (*core.Result, error) {
+	arch, _, st, err := OptimizeWithCtx(ctx, s, wmax, cfg)
 	if err != nil {
 		return nil, err
 	}
