@@ -29,6 +29,19 @@
 // nil error; the context's error comes back only when nothing usable
 // was produced. See the README section of the same name for details.
 //
+// # Observability
+//
+// The optimizers expose a structured search trace and a metrics
+// registry through ParallelConfig: set Trace to a collector from
+// NewTracer to record typed events (phase spans, candidate
+// evaluations, merge decisions, ILS kicks, SI group placements,
+// interruptions) and Metrics to a registry from NewMetricsRegistry to
+// collect atomic counters and phase-duration histograms. Both default
+// to nil and then cost nothing measurable. Engine-assembled Results
+// always carry a Metrics snapshot with at least the "evals" counter.
+// See the README section of the same name and the trace-schema section
+// of DESIGN.md.
+//
 // # Panics
 //
 // The facade never panics: internal invariant violations are recovered
@@ -41,6 +54,7 @@ import (
 
 	"sitam/internal/core"
 	"sitam/internal/experiments"
+	"sitam/internal/obs"
 	"sitam/internal/sifault"
 	"sitam/internal/sischedule"
 	"sitam/internal/soc"
@@ -249,6 +263,63 @@ type (
 	CacheStats = core.CacheStats
 )
 
+// Observability: the structured search trace and the metrics registry
+// (see package obs for the event schema and determinism contract).
+type (
+	// TraceEvent is one structured search-trace record.
+	TraceEvent = obs.Event
+	// TraceEventType identifies one kind of search-trace event.
+	TraceEventType = obs.Type
+	// Tracer is the ordered search-trace collector; pass one via
+	// ParallelConfig.Trace to record a run.
+	Tracer = obs.Tracer
+	// MetricsRegistry collects named atomic counters, gauges and
+	// histograms; pass one via ParallelConfig.Metrics.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a plain-data copy of a registry's metrics,
+	// attached to Result.Metrics.
+	MetricsSnapshot = obs.Snapshot
+	// StopCause classifies why an anytime run returned a partial
+	// result: deadline expiry, cancellation, or budget exhaustion.
+	StopCause = core.StopCause
+)
+
+// The StopCause values of partial results.
+const (
+	CauseNone     = core.CauseNone
+	CauseDeadline = core.CauseDeadline
+	CauseCancel   = core.CauseCancel
+	CauseBudget   = core.CauseBudget
+)
+
+// ErrBudgetExhausted is the sentinel behind StopCause CauseBudget:
+// the engine stopped because ParallelConfig.MaxEvals objective
+// evaluations were spent.
+var ErrBudgetExhausted = core.ErrBudgetExhausted
+
+// NewTracer returns an empty search-trace collector for
+// ParallelConfig.Trace.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetricsRegistry returns an empty metrics registry for
+// ParallelConfig.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ReadTrace parses a JSONL search trace (as written by
+// Tracer.WriteJSONL or tamopt -trace) strictly: unknown fields or
+// event types are errors.
+func ReadTrace(r io.Reader) (events []TraceEvent, err error) {
+	defer guard(&err)
+	return obs.ReadJSONL(r)
+}
+
+// ValidateTrace checks a trace against the event schema and the
+// collector's contiguous-sequence invariant.
+func ValidateTrace(events []TraceEvent) (err error) {
+	defer guard(&err)
+	return obs.ValidateTrace(events)
+}
+
 // Optimize runs the paper's SI-aware TAM_Optimization (Algorithm 2).
 func Optimize(s *SOC, wmax int, groups []*Group, m Model) (res *Result, err error) {
 	defer guard(&err)
@@ -325,11 +396,7 @@ func OptimizeILSCtx(ctx context.Context, s *SOC, wmax int, groups []*Group, m Mo
 	if err != nil {
 		return nil, err
 	}
-	bd, sched, err := core.EvaluateBreakdown(arch, groups, m)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Architecture: arch, Breakdown: bd, Schedule: sched, Partial: st.Partial, Reason: st.Reason}, nil
+	return eng.Finish(arch, st, groups, m, nil)
 }
 
 // OptimizeILSWith is OptimizeILSCtx with parallel candidate evaluation,
@@ -348,15 +415,7 @@ func OptimizeILSWith(ctx context.Context, s *SOC, wmax int, groups []*Group, m M
 	if err != nil {
 		return nil, err
 	}
-	bd, sched, err := core.EvaluateBreakdown(arch, groups, m)
-	if err != nil {
-		return nil, err
-	}
-	res = &Result{Architecture: arch, Breakdown: bd, Schedule: sched, Partial: st.Partial, Reason: st.Reason}
-	if cache != nil {
-		res.Cache = cache.Stats()
-	}
-	return res, nil
+	return eng.Finish(arch, st, groups, m, cache)
 }
 
 // InTestLowerBound returns the Goel-Marinissen lower bound on the

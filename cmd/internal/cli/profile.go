@@ -1,0 +1,64 @@
+package cli
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profile starts the profilers behind the -cpuprofile, -memprofile and
+// -httpprof flags shared by tamopt and socbench: a CPU profile streamed
+// to cpuFile, a heap profile written to memFile when the run finishes,
+// and an HTTP server exposing the net/http/pprof endpoints on httpAddr
+// (e.g. "localhost:6060"). An empty string disables the respective
+// profiler.
+//
+// The returned stop function ends the CPU profile and writes the heap
+// profile; call it explicitly before deciding the exit code — the
+// commands exit through os.Exit, which skips deferred calls.
+func Profile(cpuFile, memFile, httpAddr string) (func() error, error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		cpu = f
+	}
+	if httpAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers registered by
+			// the net/http/pprof import.
+			if err := http.ListenAndServe(httpAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return err
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize reachable-heap stats before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

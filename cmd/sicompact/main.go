@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"sitam/cmd/internal/cli"
 	"sitam/internal/core"
+	"sitam/internal/obs"
 	"sitam/internal/sifault"
 	"sitam/internal/soc"
 )
@@ -35,6 +37,7 @@ func main() {
 		parts   = flag.Int("g", 1, "number of SI test groups (1 = vertical compaction only)")
 		seed    = flag.Int64("seed", 1, "partitioner seed")
 		out     = flag.String("o", "", "write compacted patterns to this file")
+		stats   = flag.Bool("stats", false, "print partition/compaction phase metrics to stderr")
 		timeout = flag.Duration("timeout", 0, "deadline; on expiry the partially compacted set is emitted and the exit code is 3 (0 = none)")
 	)
 	flag.Parse()
@@ -45,7 +48,7 @@ func main() {
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 
-	partial, reason, err := run(ctx, *socName, *file, *parts, *seed, *out, flag.Arg(0))
+	partial, reason, err := run(ctx, *socName, *file, *parts, *seed, *out, flag.Arg(0), *stats)
 	stop()
 	if err != nil {
 		if cli.IsCtxErr(err) {
@@ -60,7 +63,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, socName, file string, parts int, seed int64, out, patFile string) (partial bool, reason string, err error) {
+func run(ctx context.Context, socName, file string, parts int, seed int64, out, patFile string, stats bool) (partial bool, reason string, err error) {
 	s, err := loadSOC(file, socName)
 	if err != nil {
 		return false, "", err
@@ -81,9 +84,26 @@ func run(ctx context.Context, socName, file string, parts int, seed int64, out, 
 			total, bus, s.Name, sp.Total(), sp.BusWidth())
 	}
 
-	gr, err := core.BuildGroupsCtx(ctx, s, patterns, core.GroupingOptions{Parts: parts, Seed: seed})
+	var tracer *obs.Tracer
+	gopts := core.GroupingOptions{Parts: parts, Seed: seed}
+	if stats {
+		tracer = obs.NewTracer()
+		gopts.Trace = tracer
+	}
+	gr, err := core.BuildGroupsCtx(ctx, s, patterns, gopts)
 	if err != nil {
 		return false, "", err
+	}
+	if stats {
+		// Fold the trace's phase spans into a metrics snapshot, using
+		// the same phase_ns_* naming as the optimizer's registry.
+		reg := obs.NewRegistry()
+		for _, ev := range tracer.Events() {
+			if ev.Type == obs.PhaseEnd {
+				reg.Histogram("phase_ns_" + strings.ReplaceAll(ev.Phase, " ", "_")).Observe(ev.DurNS)
+			}
+		}
+		fmt.Fprint(os.Stderr, "run metrics:\n"+reg.Snapshot().Format())
 	}
 	fmt.Printf("%s: %d patterns -> %d compacted (%.2fx) in %d groups, %d residual\n",
 		s.Name, gr.Stats.Original, gr.TotalCompacted(), gr.Stats.Ratio(),

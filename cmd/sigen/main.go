@@ -25,7 +25,10 @@ import (
 	"log"
 	"os"
 
+	"time"
+
 	"sitam/cmd/internal/cli"
+	"sitam/internal/obs"
 	"sitam/internal/sifault"
 	"sitam/internal/soc"
 	"sitam/internal/topology"
@@ -49,7 +52,7 @@ func main() {
 		width   = flag.Int("width", 32, "topology mode: bits per connection")
 		k       = flag.Int("k", 3, "topology mode: coupling locality factor")
 		capN    = flag.Int("cap", 0, "topology mode: cap on mt pattern count (0 = none)")
-		stats   = flag.Bool("stats", false, "print pattern-set statistics to stderr")
+		stats   = flag.Bool("stats", false, "print pattern-set statistics and generation metrics to stderr")
 		timeout = flag.Duration("timeout", 0, "deadline; on expiry the patterns generated so far are written and the exit code is 3 (0 = none)")
 	)
 	flag.Parse()
@@ -91,6 +94,7 @@ func run(ctx context.Context, o genOptions) (partial bool, err error) {
 		return false, err
 	}
 
+	genStart := time.Now()
 	var patterns []*sifault.Pattern
 	switch o.model {
 	case "":
@@ -116,6 +120,7 @@ func run(ctx context.Context, o genOptions) (partial bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	genDur := time.Since(genStart)
 
 	w := os.Stdout
 	if o.out != "" {
@@ -131,6 +136,10 @@ func run(ctx context.Context, o genOptions) (partial bool, err error) {
 	}
 	log.Printf("wrote %d patterns for %s", len(patterns), s.Name)
 	if o.stats {
+		reg := obs.NewRegistry()
+		reg.Counter("patterns").Add(int64(len(patterns)))
+		reg.Histogram("phase_ns_pattern_generation").Observe(int64(genDur))
+		fmt.Fprint(os.Stderr, "run metrics:\n"+reg.Snapshot().Format())
 		fmt.Fprint(os.Stderr, sifault.Analyze(patterns).Format())
 	}
 	return partial, nil

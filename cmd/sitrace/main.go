@@ -1,0 +1,130 @@
+// Command sitrace summarizes a structured search trace written by
+// tamopt -trace: per-phase wall-clock and counts, merge acceptance
+// rates, cache hit rate, ILS kicks, interruptions, and the convergence
+// curve of the best objective versus candidate evaluations.
+//
+//	tamopt -soc d695 -w 16 -trace run.jsonl
+//	sitrace run.jsonl              # summary
+//	sitrace -check run.jsonl       # schema validation only
+//	sitrace -curve run.jsonl       # convergence curve as CSV on stdout
+//
+// The input is read from the file argument, or stdin when the argument
+// is "-" or absent. Every line is validated against the event schema
+// before any reporting; an invalid trace exits with code 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"sitam/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sitrace: ")
+	var (
+		check = flag.Bool("check", false, "validate the trace against the event schema and exit")
+		curve = flag.Bool("curve", false, "print the convergence curve as \"seq,evals,best\" CSV instead of the summary")
+	)
+	flag.Parse()
+	if flag.NArg() > 1 {
+		log.Fatal("usage: sitrace [-check|-curve] [trace.jsonl]")
+	}
+
+	events, err := read(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.ValidateTrace(events); err != nil {
+		log.Fatal(err)
+	}
+	switch {
+	case *check:
+		fmt.Printf("trace OK: %d events\n", len(events))
+	case *curve:
+		fmt.Println("seq,evals,best")
+		for _, p := range obs.Curve(events) {
+			fmt.Printf("%d,%d,%d\n", p.Seq, p.Evals, p.Best)
+		}
+	default:
+		summarize(os.Stdout, events)
+	}
+}
+
+func read(name string) ([]obs.Event, error) {
+	var r io.Reader = os.Stdin
+	if name != "" && name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return obs.ReadJSONL(r)
+}
+
+func summarize(w io.Writer, events []obs.Event) {
+	fmt.Fprintf(w, "trace: %d events\n", len(events))
+
+	if phases := obs.AggregatePhases(events); len(phases) > 0 {
+		fmt.Fprintf(w, "phases:\n  %-24s %6s %12s %12s\n", "phase", "spans", "wall(ms)", "n")
+		for _, pa := range phases {
+			fmt.Fprintf(w, "  %-24s %6d %12.1f %12d\n",
+				pa.Phase, pa.Spans, float64(pa.WallNS)/1e6, pa.N)
+		}
+	}
+
+	var accepted, rejected, candidates int
+	var hits, misses int64
+	var kicks int
+	var kickBest int64
+	for i := range events {
+		switch ev := &events[i]; ev.Type {
+		case obs.MergeAccepted:
+			accepted++
+		case obs.MergeRejected:
+			rejected++
+		case obs.CandidateEvaluated:
+			candidates++
+		case obs.CacheHit:
+			hits++
+		case obs.CacheMiss:
+			misses++
+		case obs.ILSKick:
+			kicks++
+			kickBest = ev.Best
+		}
+	}
+	fmt.Fprintf(w, "candidates evaluated: %d\n", candidates)
+	if accepted+rejected > 0 {
+		fmt.Fprintf(w, "merge batches: %d accepted, %d rejected (%.1f%% accepted)\n",
+			accepted, rejected, 100*float64(accepted)/float64(accepted+rejected))
+	}
+	if hits+misses > 0 {
+		fmt.Fprintf(w, "cache: %d hits, %d misses (%.1f%% hit rate)\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses))
+	}
+	if kicks > 0 {
+		fmt.Fprintf(w, "ILS: %d kicks, best %d\n", kicks, kickBest)
+	}
+	for i := range events {
+		if ev := &events[i]; ev.Type == obs.DeadlineHit {
+			fmt.Fprintf(w, "interrupted: %s during %s", ev.Cause, ev.Phase)
+			if ev.Kick > 0 {
+				fmt.Fprintf(w, " (kick %d)", ev.Kick)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if curve := obs.Curve(events); len(curve) > 0 {
+		fmt.Fprintf(w, "convergence: %d improvements over %d evaluations\n",
+			len(curve), curve[len(curve)-1].Evals)
+		fmt.Fprintf(w, "final best objective: %d\n", curve[len(curve)-1].Best)
+	}
+}

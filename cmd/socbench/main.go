@@ -28,6 +28,7 @@ import (
 	"sitam/cmd/internal/cli"
 	"sitam/internal/core"
 	"sitam/internal/experiments"
+	"sitam/internal/obs"
 	"sitam/internal/soc"
 )
 
@@ -44,8 +45,32 @@ func main() {
 		coverage = flag.Bool("coverage", false, "run the SI fault coverage experiment instead of the main tables")
 		workers  = flag.Int("workers", 0, "concurrent candidate evaluations per optimization (0 = GOMAXPROCS, 1 = serial); table numbers are identical at any worker count")
 		timeout  = flag.Duration("timeout", 0, "deadline; on expiry the completed cells are printed and the exit code is 3 (0 = none)")
+		stats    = flag.Bool("stats", false, "print the accumulated metrics snapshot (worker pool, phase timings) to stderr after the tables")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		httpProf = flag.String("httpprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	profStop, err := cli.Profile(*cpuProf, *memProf, *httpProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := profStop(); err != nil {
+			log.Print(err)
+		}
+	}()
+	var metrics *obs.Registry
+	printStats := func() {
+		if metrics != nil {
+			fmt.Fprint(os.Stderr, "run metrics:\n"+metrics.Snapshot().Format())
+		}
+	}
+	if *stats {
+		metrics = obs.NewRegistry()
+		defer printStats()
+	}
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
@@ -55,9 +80,15 @@ func main() {
 		progress = os.Stderr
 	}
 
+	// os.Exit skips deferred calls, so the partial-exit path flushes the
+	// profilers and the metrics snapshot itself.
 	exitPartial := func(reason string) {
 		stop()
 		fmt.Printf("RESULT PARTIAL (%s): %s\n", cli.Cause(ctx), reason)
+		if err := profStop(); err != nil {
+			log.Print(err)
+		}
+		printStats()
 		os.Exit(cli.ExitPartial)
 	}
 
@@ -94,7 +125,7 @@ func main() {
 		}
 		cfg := experiments.TableConfig{
 			Seed: *seed, Progress: progress,
-			Parallel: core.ParallelConfig{Workers: *workers, CacheSize: core.DefaultCacheSize},
+			Parallel: core.ParallelConfig{Workers: *workers, CacheSize: core.DefaultCacheSize, Metrics: metrics},
 		}
 		if *quick {
 			cfg.Widths = []int{16, 32, 64}

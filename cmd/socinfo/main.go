@@ -20,6 +20,8 @@ import (
 	"strings"
 
 	"sitam/cmd/internal/cli"
+	"sitam/internal/core"
+	"sitam/internal/obs"
 	"sitam/internal/soc"
 	"sitam/internal/trarchitect"
 	"sitam/internal/wrapper"
@@ -32,6 +34,7 @@ func main() {
 		socName = flag.String("soc", "p34392", "embedded benchmark SOC name")
 		file    = flag.String("file", "", ".soc file to load instead of a benchmark")
 		widths  = flag.String("w", "1,8,16,32,64", "comma-separated TAM widths to tabulate")
+		stats   = flag.Bool("stats", false, "print the accumulated optimizer metrics (phase timings, pool counters) to stderr")
 		timeout = flag.Duration("timeout", 0, "deadline; on expiry the rows computed so far are printed and the exit code is 3 (0 = none)")
 	)
 	flag.Parse()
@@ -47,6 +50,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// The partial paths exit through os.Exit, which skips deferred
+	// calls, so they flush the metrics snapshot themselves.
+	var metrics *obs.Registry
+	printStats := func() {
+		if metrics != nil {
+			fmt.Fprint(os.Stderr, "run metrics:\n"+metrics.Snapshot().Format())
+		}
+	}
+	if *stats {
+		metrics = obs.NewRegistry()
+	}
+	defer printStats()
 
 	fmt.Println(s.Summary())
 	fmt.Println()
@@ -82,19 +98,22 @@ func main() {
 		if ctx.Err() != nil {
 			stop()
 			fmt.Printf("RESULT PARTIAL (%s): stopped before W=%d\n", cli.Cause(ctx), w)
+			printStats()
 			os.Exit(cli.ExitPartial)
 		}
 		lb, err := trarchitect.LowerBound(s, w)
 		if err != nil {
 			log.Fatal(err)
 		}
-		arch, _, st, err := trarchitect.OptimizeCtx(ctx, s, w)
+		arch, _, st, err := trarchitect.OptimizeWithCtx(ctx, s, w,
+			core.ParallelConfig{Workers: 1, CacheSize: -1, Metrics: metrics})
 		if err != nil {
 			if cli.IsCtxErr(err) {
 				// Deadline fired before W=w produced anything usable
 				// (e.g. during the lower-bound computation just above).
 				stop()
 				fmt.Printf("RESULT PARTIAL (%s): stopped before W=%d\n", cli.Cause(ctx), w)
+				printStats()
 				os.Exit(cli.ExitPartial)
 			}
 			log.Fatal(err)
@@ -105,6 +124,7 @@ func main() {
 			stop()
 			fmt.Printf("RESULT PARTIAL (%s): W=%d row is the best architecture found before interruption (%s)\n",
 				cli.Cause(ctx), w, st.Reason)
+			printStats()
 			os.Exit(cli.ExitPartial)
 		}
 	}

@@ -11,10 +11,17 @@
 // two-dimensional compaction pipeline are scheduled on the final
 // architecture and the combined time is reported.
 //
-// The optimization is an anytime algorithm: with -timeout, or on
-// SIGINT/SIGTERM, the best architecture found so far is printed with a
-// "RESULT PARTIAL" marker and the command exits with code 3. Exit codes:
-// 0 success, 1 error, 3 partial result.
+// The optimization is an anytime algorithm: with -timeout, on
+// SIGINT/SIGTERM, or when the -budget evaluation allowance runs out,
+// the best architecture found so far is printed with a "RESULT PARTIAL"
+// marker naming the cause (deadline, interrupted, budget) and the
+// command exits with code 3. Exit codes: 0 success, 1 error, 3 partial
+// result.
+//
+// Observability: -trace writes the structured search trace as JSONL
+// (summarize it with sitrace), -stats prints the run's metrics snapshot
+// after the result, and -cpuprofile/-memprofile/-httpprof enable the
+// standard Go profilers.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 
 	"sitam/cmd/internal/cli"
 	"sitam/internal/core"
+	"sitam/internal/obs"
 	"sitam/internal/report"
 	"sitam/internal/sifault"
 	"sitam/internal/sischedule"
@@ -52,19 +60,43 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent candidate evaluations (0 = GOMAXPROCS, 1 = serial); results are identical at any worker count")
 		cache    = flag.Int("cache", 0, "evaluation cache capacity in entries (0 = default, negative = disabled)")
 		timeout  = flag.Duration("timeout", 0, "overall deadline; on expiry the best result so far is printed and the exit code is 3 (0 = none)")
+		budget   = flag.Int64("budget", 0, "objective-evaluation budget; on exhaustion the best result so far is printed and the exit code is 3 (0 = unlimited)")
+		traceOut = flag.String("trace", "", "write the structured search trace as JSONL to this file")
+		stats    = flag.Bool("stats", false, "print the run's metrics snapshot (evaluations, cache, worker pool, phase timings) after the result")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		httpProf = flag.String("httpprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	profStop, err := cli.Profile(*cpuProf, *memProf, *httpProf)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 
-	partial, reason, err := run(ctx, options{
+	cfg := core.ParallelConfig{Workers: *workers, CacheSize: *cache, MaxEvals: *budget}
+	o := options{
 		socName: *socName, file: *file, wmax: *wmax, nr: *nr, parts: *parts,
 		seed: *seed, baseline: *baseline, gantt: *gantt, jsonOut: *jsonOut,
-		ils: *ils, restarts: *restarts,
-		cfg: core.ParallelConfig{Workers: *workers, CacheSize: *cache},
-	})
+		ils: *ils, restarts: *restarts, stats: *stats, traceFile: *traceOut,
+	}
+	if *traceOut != "" {
+		o.tracer = obs.NewTracer()
+		cfg.Trace = o.tracer
+	}
+	if *stats {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	o.cfg = cfg
+
+	partial, reason, cause, err := run(ctx, o)
 	stop()
+	if perr := profStop(); perr != nil {
+		log.Fatal(perr)
+	}
 	if err != nil {
 		if cli.IsCtxErr(err) {
 			// The deadline or signal fired before anything usable was
@@ -75,7 +107,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if partial {
-		fmt.Printf("RESULT PARTIAL (%s): %s\n", cli.Cause(ctx), reason)
+		fmt.Printf("RESULT PARTIAL (%s): %s\n", cause, reason)
 		os.Exit(cli.ExitPartial)
 	}
 }
@@ -84,33 +116,51 @@ type options struct {
 	socName, file, jsonOut         string
 	wmax, nr, parts, ils, restarts int
 	seed                           int64
-	baseline, gantt                bool
+	baseline, gantt, stats         bool
+	traceFile                      string
+	tracer                         *obs.Tracer
 	cfg                            core.ParallelConfig
 }
 
+// sink adapts the optional tracer to the Sink interface without ever
+// wrapping a nil pointer in a non-nil interface.
+func (o options) sink() obs.Sink {
+	if o.tracer == nil {
+		return nil
+	}
+	return o.tracer
+}
+
 // run executes the pipeline and reports whether any stage returned a
-// degraded (partial) result. It is a separate function so its deferred
-// file closes run before main decides the exit code.
-func run(ctx context.Context, o options) (partial bool, reason string, err error) {
+// degraded (partial) result, along with the cause label for the marker.
+// It is a separate function so its deferred file closes run before main
+// decides the exit code.
+func run(ctx context.Context, o options) (partial bool, reason, cause string, err error) {
 	s, err := loadSOC(o.file, o.socName)
 	if err != nil {
-		return false, "", err
+		return false, "", "", err
 	}
 	fmt.Println(s.Summary())
 
+	span := obs.Span(o.sink(), "pattern generation")
 	patterns, cut, err := sifault.GenerateCtx(ctx, s, sifault.GenConfig{N: o.nr, Seed: o.seed})
 	if err != nil {
-		return false, "", err
+		return false, "", "", err
 	}
 	if cut {
-		partial, reason = true, fmt.Sprintf("pattern generation stopped at %d of %d patterns", len(patterns), o.nr)
+		partial, reason, cause = true, fmt.Sprintf("pattern generation stopped at %d of %d patterns", len(patterns), o.nr), cli.Cause(ctx)
+		if sink := o.sink(); sink != nil {
+			sink.Emit(obs.Event{Type: obs.DeadlineHit, Phase: "pattern generation", Cause: obs.CtxCause(ctx.Err())})
+		}
 	}
-	grouping, err := core.BuildGroupsCtx(ctx, s, patterns, core.GroupingOptions{Parts: o.parts, Seed: o.seed})
+	span.End(0, int64(len(patterns)))
+
+	grouping, err := core.BuildGroupsCtx(ctx, s, patterns, core.GroupingOptions{Parts: o.parts, Seed: o.seed, Trace: o.sink()})
 	if err != nil {
-		return false, "", err
+		return false, "", "", err
 	}
 	if grouping.Partial && !partial {
-		partial, reason = true, grouping.Reason
+		partial, reason, cause = true, grouping.Reason, cli.Cause(ctx)
 	}
 	fmt.Printf("SI compaction: %d patterns -> %d compacted in %d groups (ratio %.1fx, %d residual)\n",
 		grouping.Stats.Original, grouping.TotalCompacted(), len(grouping.Groups),
@@ -137,27 +187,18 @@ func run(ctx context.Context, o options) (partial bool, reason string, err error
 		if err != nil {
 			break
 		}
-		var bd core.Breakdown
-		var sched *sischedule.Schedule
-		bd, sched, err = core.EvaluateBreakdown(arch, grouping.Groups, model)
-		res = &core.Result{Architecture: arch, Breakdown: bd, Schedule: sched, Partial: st.Partial, Reason: st.Reason}
-		if cache != nil {
-			res.Cache = cache.Stats()
-		}
+		res, err = eng.Finish(arch, st, grouping.Groups, model, cache)
 	default:
 		res, err = core.TAMOptimizationWith(ctx, s, o.wmax, grouping.Groups, model, o.cfg)
 	}
 	if err != nil {
-		return false, "", err
+		return false, "", "", err
 	}
 	if res.Partial && !partial {
 		partial, reason = true, res.Reason
-	}
-	// Cache counters are timing-dependent under concurrency, so they go
-	// to stderr, keeping stdout byte-stable for golden comparisons.
-	if st := res.Cache; st.Hits+st.Misses > 0 {
-		log.Printf("eval cache: %d hits, %d misses (%.1f%% hit rate), %d evictions",
-			st.Hits, st.Misses, 100*st.HitRate(), st.Evictions)
+		if cause = res.Cause.Label(); cause == "" {
+			cause = cli.Cause(ctx)
+		}
 	}
 
 	fmt.Println()
@@ -170,21 +211,41 @@ func run(ctx context.Context, o options) (partial bool, reason string, err error
 	fmt.Printf("T_in=%d cc  T_si=%d cc  T_soc=%d cc\n",
 		res.Breakdown.TimeIn, res.Breakdown.TimeSI, res.Breakdown.TimeSOC)
 
+	if o.stats {
+		fmt.Println()
+		fmt.Println("run metrics:")
+		fmt.Print(res.Metrics.Format())
+	}
+	if o.traceFile != "" {
+		f, err := os.Create(o.traceFile)
+		if err != nil {
+			return false, "", "", err
+		}
+		werr := o.tracer.WriteJSONL(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return false, "", "", werr
+		}
+		log.Printf("wrote %d trace events to %s", o.tracer.Len(), o.traceFile)
+	}
+
 	if o.jsonOut != "" {
 		w := os.Stdout
 		if o.jsonOut != "-" {
 			f, err := os.Create(o.jsonOut)
 			if err != nil {
-				return false, "", err
+				return false, "", "", err
 			}
 			defer f.Close()
 			w = f
 		}
 		if err := report.FromResult(res).Write(w); err != nil {
-			return false, "", err
+			return false, "", "", err
 		}
 	}
-	return partial, reason, nil
+	return partial, reason, cause, nil
 }
 
 func loadSOC(file, name string) (*soc.SOC, error) {

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sitam/internal/obs"
 	"sitam/internal/sifault"
 )
 
@@ -145,6 +146,26 @@ func Greedy(sp *sifault.Space, patterns []*sifault.Pattern) ([]*sifault.Pattern,
 // valid but less compacted cover of the same original pattern set; the
 // returned bool reports whether compaction was cut short.
 func GreedyCtx(ctx context.Context, sp *sifault.Space, patterns []*sifault.Pattern) ([]*sifault.Pattern, Stats, bool) {
+	return GreedyObs(ctx, sp, patterns, nil, "")
+}
+
+// GreedyObs is GreedyCtx with tracing: the run is bracketed in a
+// "compaction" phase span labeled with the group name, whose PhaseEnd
+// carries the compacted pattern count; a cut emits a deadline_hit
+// event. A nil sink traces nothing.
+func GreedyObs(ctx context.Context, sp *sifault.Space, patterns []*sifault.Pattern, sink obs.Sink, group string) ([]*sifault.Pattern, Stats, bool) {
+	span := obs.Span(sink, "compaction")
+	out, stats, cut := greedy(ctx, sp, patterns)
+	if sink != nil {
+		if cut {
+			sink.Emit(obs.Event{Type: obs.DeadlineHit, Phase: "compaction", Group: group, Cause: obs.CtxCause(ctx.Err())})
+		}
+		span.End(0, int64(stats.Compacted))
+	}
+	return out, stats, cut
+}
+
+func greedy(ctx context.Context, sp *sifault.Space, patterns []*sifault.Pattern) ([]*sifault.Pattern, Stats, bool) {
 	acc := newAccumulator(sp.Total(), sp.BusWidth())
 	alive := make([]bool, len(patterns))
 	remaining := make([]int, len(patterns))

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sitam/internal/obs"
 	"sitam/internal/tam"
 )
 
@@ -75,6 +76,12 @@ type CachedEvaluator struct {
 	evictions    atomic.Int64
 	mu           sync.Mutex
 	entries      map[string]*cacheEntry
+
+	// sink receives per-lookup cache_hit/cache_miss events. Set only
+	// for single-worker runs (NewParallelEngine): under concurrency
+	// the hit/miss split is timing-dependent, which would break trace
+	// determinism — the totals are always on the metrics snapshot.
+	sink obs.Sink
 }
 
 // NewCachedEvaluator wraps inner with a memoization cache holding at
@@ -123,6 +130,9 @@ func (c *CachedEvaluator) Evaluate(a *tam.Architecture) (int64, error) {
 	c.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
+		if c.sink != nil {
+			c.sink.Emit(obs.Event{Type: obs.CacheHit})
+		}
 		for i, r := range a.Rails {
 			j := sort.Search(len(ent.rails), func(j int) bool { return ent.rails[j].key >= perRail[i] })
 			r.TimeIn, r.TimeSI = ent.rails[j].timeIn, ent.rails[j].timeSI
@@ -130,6 +140,9 @@ func (c *CachedEvaluator) Evaluate(a *tam.Architecture) (int64, error) {
 		return ent.obj, nil
 	}
 	c.misses.Add(1)
+	if c.sink != nil {
+		c.sink.Emit(obs.Event{Type: obs.CacheMiss})
+	}
 	obj, err := c.Inner.Evaluate(a)
 	if err != nil {
 		return 0, err

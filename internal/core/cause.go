@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"errors"
+)
+
+// StopCause classifies why an anytime optimization run ended early. It
+// replaces string matching on Status.Reason: the enum travels on
+// Status, Result and GroupingResult, surfaces in the trace's
+// deadline_hit events, and renders the CLI partial markers.
+type StopCause int
+
+const (
+	// CauseNone means the run was not interrupted.
+	CauseNone StopCause = iota
+
+	// CauseDeadline means the context's deadline expired.
+	CauseDeadline
+
+	// CauseCancel means the context was cancelled (e.g. SIGINT).
+	CauseCancel
+
+	// CauseBudget means the evaluation budget (Engine.MaxEvals) ran out.
+	CauseBudget
+)
+
+// ErrBudgetExhausted is the sentinel the engine's evaluation counter
+// returns once Engine.MaxEvals objective evaluations have been spent.
+// The optimization loops treat it exactly like a done context: the
+// incumbent comes back as a partial result with CauseBudget.
+var ErrBudgetExhausted = errors.New("core: evaluation budget exhausted")
+
+// CauseOf classifies an interruption error. Any stop error that is
+// neither a deadline expiry nor the budget sentinel counts as a
+// cancellation, matching the reason strings of earlier releases.
+func CauseOf(err error) StopCause {
+	switch {
+	case err == nil:
+		return CauseNone
+	case errors.Is(err, context.DeadlineExceeded):
+		return CauseDeadline
+	case errors.Is(err, ErrBudgetExhausted):
+		return CauseBudget
+	}
+	return CauseCancel
+}
+
+// String renders the cause the way Status.Reason phrases it
+// ("deadline exceeded", "cancelled", "evaluation budget exhausted").
+func (c StopCause) String() string {
+	switch c {
+	case CauseDeadline:
+		return "deadline exceeded"
+	case CauseCancel:
+		return "cancelled"
+	case CauseBudget:
+		return "evaluation budget exhausted"
+	}
+	return ""
+}
+
+// Label returns the short token used by the trace's deadline_hit
+// events and the CLIs' RESULT PARTIAL markers: "deadline",
+// "interrupted" or "budget".
+func (c StopCause) Label() string {
+	switch c {
+	case CauseDeadline:
+		return "deadline"
+	case CauseCancel:
+		return "interrupted"
+	case CauseBudget:
+		return "budget"
+	}
+	return ""
+}
+
+// isStop reports whether err is an anytime interruption — a context
+// error (including wrapped ones, e.g. an Evaluator that aborted because
+// its own downstream context fired) or the evaluation-budget sentinel —
+// as opposed to a hard failure.
+func isStop(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrBudgetExhausted)
+}
+
+// stopReason renders a human-readable interruption reason for
+// Status.Reason.
+func stopReason(err error, phase string) string {
+	return CauseOf(err).String() + " during " + phase
+}

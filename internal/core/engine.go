@@ -2,11 +2,13 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 
+	"sitam/internal/obs"
 	"sitam/internal/soc"
 	"sitam/internal/tam"
 	"sitam/internal/wrapper"
@@ -26,31 +28,58 @@ type Engine struct {
 	// parallel.go. When Par is used with a concurrency-unsafe
 	// Evaluator, wrap the evaluator or keep Workers at 1.
 	Par *ParallelEvaluator
+
+	// Trace receives the structured search-trace events of the run
+	// (see internal/obs). nil — the default — disables tracing at the
+	// cost of one branch per emission site. Candidate events are
+	// emitted by the coordinating goroutine in candidate order, so the
+	// trace is deterministic for a fixed seed at any worker count.
+	Trace obs.Sink
+
+	// Metrics receives the run's counters and phase-duration
+	// histograms. nil disables metric collection.
+	Metrics *obs.Registry
+
+	// MaxEvals bounds the number of objective evaluations the run may
+	// spend; 0 means unlimited. When the budget runs out the search
+	// stops exactly like a cancelled context: the incumbent comes back
+	// as a partial result with CauseBudget. With ILS restarts the
+	// bound applies to each restart independently.
+	MaxEvals int64
+
+	// evals counts objective evaluations. A pointer so that the
+	// shallow engine copies the ILS restart fan-out makes share one
+	// total (each restart still counts into its own — see
+	// OptimizeILSRestartsCtx).
+	evals *atomic.Int64
 }
 
+// Phase names used by Status.Reason, the search trace and the
+// phase-duration metrics.
+const (
+	phaseStartSol  = "start solution"
+	phaseBottomUp  = "bottom-up merge"
+	phaseTopDown   = "top-down merge"
+	phaseSweep     = "remaining-rails sweep"
+	phaseReshuffle = "core reshuffle"
+	phaseILS       = "ILS"
+	phaseILSLocal  = "ILS local search"
+)
+
 // Status reports how an anytime optimization run ended: a complete run
-// has the zero Status, while a run cut short by context cancellation or
-// deadline expiry that still produced a usable architecture has
-// Partial set and Reason describing where the run was interrupted.
+// has the zero Status, while a run cut short by context cancellation,
+// deadline expiry or budget exhaustion that still produced a usable
+// architecture has Partial set, Cause classifying the interruption and
+// Reason describing where the run was interrupted.
 type Status struct {
 	Partial bool
 	Reason  string
+	Cause   StopCause
 }
 
-// isCtxErr reports whether err stems from context cancellation or
-// deadline expiry, including errors wrapping those (e.g. an Evaluator
-// that aborted because its own downstream context fired).
-func isCtxErr(err error) bool {
-	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
-}
-
-// stopReason renders a human-readable interruption reason for Status.
-func stopReason(err error, phase string) string {
-	cause := "cancelled"
-	if errors.Is(err, context.DeadlineExceeded) {
-		cause = "deadline exceeded"
-	}
-	return cause + " during " + phase
+// statusOf builds the partial Status for an interruption during phase.
+func statusOf(err error, phase string) Status {
+	return Status{Partial: true, Reason: stopReason(err, phase), Cause: CauseOf(err)}
 }
 
 // NewEngine builds an engine, precomputing the per-core InTest time
@@ -66,7 +95,75 @@ func NewEngine(s *soc.SOC, wmax int, eval Evaluator) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{SOC: s, Wmax: wmax, Times: tt, Eval: eval}, nil
+	return &Engine{SOC: s, Wmax: wmax, Times: tt, Eval: eval, evals: new(atomic.Int64)}, nil
+}
+
+// eval scores one candidate, counting the evaluation and enforcing the
+// budget: once MaxEvals evaluations have been spent, every further
+// call fails with ErrBudgetExhausted, which the optimization loops
+// treat exactly like a done context.
+func (e *Engine) eval(a *tam.Architecture) (int64, error) {
+	if e.evals != nil {
+		n := e.evals.Add(1)
+		if e.MaxEvals > 0 && n > e.MaxEvals {
+			return 0, ErrBudgetExhausted
+		}
+	}
+	return e.Eval.Evaluate(a)
+}
+
+// evalCount returns the evaluations spent so far.
+func (e *Engine) evalCount() int64 {
+	if e.evals == nil {
+		return 0
+	}
+	return e.evals.Load()
+}
+
+// phase opens a trace/metrics span for one optimization phase. The
+// returned close function emits the matching PhaseEnd — wall-clock
+// duration, evaluations spent inside the span, incumbent objective —
+// and feeds the duration histogram. When both trace and metrics are
+// off it is a no-op and takes no timestamps.
+func (e *Engine) phase(name string) func(best int64) {
+	if e.Trace == nil && e.Metrics == nil {
+		return func(int64) {}
+	}
+	start := time.Now()
+	n0 := e.evalCount()
+	if e.Trace != nil {
+		e.Trace.Emit(obs.Event{Type: obs.PhaseStart, Phase: name})
+	}
+	return func(best int64) {
+		dur := int64(time.Since(start))
+		if e.Trace != nil {
+			e.Trace.Emit(obs.Event{
+				Type: obs.PhaseEnd, Phase: name,
+				Best: best, N: e.evalCount() - n0, DurNS: dur,
+			})
+		}
+		e.Metrics.Histogram("phase_ns_" + strings.ReplaceAll(name, " ", "_")).Observe(dur)
+	}
+}
+
+// stopEvent records an anytime interruption in the trace.
+func (e *Engine) stopEvent(err error, phase string, kick int) {
+	if e.Trace != nil {
+		e.Trace.Emit(obs.Event{Type: obs.DeadlineHit, Phase: phase, Kick: kick, Cause: CauseOf(err).Label()})
+	}
+}
+
+// emitCandidates reports one scored batch to the trace in candidate
+// order. Emission happens on the coordinating goroutine after the
+// batch completes, so the event stream is identical at any worker
+// count.
+func (e *Engine) emitCandidates(phase string, res []candResult) {
+	if e.Trace == nil {
+		return
+	}
+	for i := range res {
+		e.Trace.Emit(obs.Event{Type: obs.CandidateEvaluated, Phase: phase, Cand: i, Obj: res[i].obj})
+	}
 }
 
 // Optimize runs the full procedure: start solution, bottom-up merging,
@@ -79,65 +176,80 @@ func (e *Engine) Optimize() (*tam.Architecture, int64, error) {
 
 // OptimizeCtx is Optimize as an anytime algorithm: the procedure checks
 // ctx between candidate evaluations, and when the context is cancelled
-// or its deadline expires mid-run it returns the best architecture found
-// so far with Status.Partial set and a nil error. The incumbent
-// objective only improves as the run progresses, so a partial result is
-// always a valid, schedulable architecture whose objective is at least
-// the value a complete run would reach. A context that is already done
-// before any feasible architecture exists yields the context's error.
+// or its deadline expires mid-run (or the evaluation budget runs out)
+// it returns the best architecture found so far with Status.Partial set
+// and a nil error. The incumbent objective only improves as the run
+// progresses, so a partial result is always a valid, schedulable
+// architecture whose objective is at least the value a complete run
+// would reach. A context that is already done before any feasible
+// architecture exists yields the context's error.
 func (e *Engine) OptimizeCtx(ctx context.Context) (*tam.Architecture, int64, Status, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, 0, Status{}, err
 	}
+	end := e.phase(phaseStartSol)
 	a, obj, err := e.startSolution(ctx)
 	if err != nil {
-		if isCtxErr(err) && a != nil {
+		if isStop(err) && a != nil {
 			// Interrupted while distributing free wires: the
-			// architecture is feasible, just under-provisioned.
+			// architecture is feasible, just under-provisioned. The
+			// re-score calls the evaluator directly — it spends no
+			// fresh search effort, so it bypasses the budget.
 			if o, eerr := e.Eval.Evaluate(a); eerr == nil {
-				return a, o, Status{Partial: true, Reason: stopReason(err, "start solution")}, nil
+				e.stopEvent(err, phaseStartSol, 0)
+				end(o)
+				return a, o, statusOf(err, phaseStartSol), nil
 			}
 		}
 		return nil, 0, Status{}, err
 	}
+	end(obj)
 
-	partial := func(err error, phase string) (*tam.Architecture, int64, Status, error) {
-		return a, obj, Status{Partial: true, Reason: stopReason(err, phase)}, nil
+	// fail folds a loop error into the anytime contract: interruptions
+	// close the phase span and return the incumbent as a partial
+	// result, hard errors propagate. a and obj are captured by
+	// reference, so it always sees the current incumbent.
+	fail := func(err error, phase string, end func(int64)) (*tam.Architecture, int64, Status, error) {
+		if !isStop(err) {
+			return nil, 0, Status{}, err
+		}
+		e.stopEvent(err, phase, 0)
+		end(obj)
+		return a, obj, statusOf(err, phase), nil
 	}
 
 	// Optimize bottom-up (Lines 17-23): repeatedly try to merge the
 	// rail with the smallest utilized time.
+	end = e.phase(phaseBottomUp)
 	for improved := true; improved && len(a.Rails) > 1; {
 		sortByTimeUsed(a)
 		last := len(a.Rails) - 1
-		a2, obj2, err := e.mergeTAMs(ctx, a, obj, last)
+		a2, obj2, err := e.mergeTAMs(ctx, a, obj, last, phaseBottomUp)
 		if err != nil {
-			if isCtxErr(err) {
-				return partial(err, "bottom-up merge")
-			}
-			return nil, 0, Status{}, err
+			return fail(err, phaseBottomUp, end)
 		}
 		improved = obj2 < obj
 		a, obj = a2, obj2
 	}
+	end(obj)
 
 	// Optimize top-down (Lines 24-30): try to merge the rail with the
 	// largest utilized time.
+	end = e.phase(phaseTopDown)
 	for improved := true; improved && len(a.Rails) > 1; {
 		sortByTimeUsed(a)
-		a2, obj2, err := e.mergeTAMs(ctx, a, obj, 0)
+		a2, obj2, err := e.mergeTAMs(ctx, a, obj, 0, phaseTopDown)
 		if err != nil {
-			if isCtxErr(err) {
-				return partial(err, "top-down merge")
-			}
-			return nil, 0, Status{}, err
+			return fail(err, phaseTopDown, end)
 		}
 		improved = obj2 < obj
 		a, obj = a2, obj2
 	}
+	end(obj)
 
 	// Sweep the remaining rails (Lines 31-36): keep trying the
 	// largest-time rail not yet known to be unmergeable.
+	end = e.phase(phaseSweep)
 	skip := map[string]bool{}
 	if len(a.Rails) > 0 {
 		sortByTimeUsed(a)
@@ -155,12 +267,9 @@ func (e *Engine) OptimizeCtx(ctx context.Context) (*tam.Architecture, int64, Sta
 		if pick < 0 {
 			break
 		}
-		a2, obj2, err := e.mergeTAMs(ctx, a, obj, pick)
+		a2, obj2, err := e.mergeTAMs(ctx, a, obj, pick, phaseSweep)
 		if err != nil {
-			if isCtxErr(err) {
-				return partial(err, "remaining-rails sweep")
-			}
-			return nil, 0, Status{}, err
+			return fail(err, phaseSweep, end)
 		}
 		if obj2 < obj {
 			a, obj = a2, obj2
@@ -168,15 +277,15 @@ func (e *Engine) OptimizeCtx(ctx context.Context) (*tam.Architecture, int64, Sta
 			skip[railKey(a.Rails[pick])] = true
 		}
 	}
+	end(obj)
 
 	// Core reshuffle (Line 37): move single cores off bottleneck rails.
-	a2, obj2, err := e.coreReshuffle(ctx, a, obj)
+	end = e.phase(phaseReshuffle)
+	a2, obj2, err := e.coreReshuffle(ctx, a, obj, phaseReshuffle)
 	if err != nil {
-		if isCtxErr(err) {
-			return partial(err, "core reshuffle")
-		}
-		return nil, 0, Status{}, err
+		return fail(err, phaseReshuffle, end)
 	}
+	end(obj2)
 	return a2, obj2, Status{}, nil
 }
 
@@ -184,16 +293,16 @@ func (e *Engine) OptimizeCtx(ctx context.Context) (*tam.Architecture, int64, Sta
 // per core, then merge down to Wmax rails or distribute leftover wires.
 // It returns the architecture together with its evaluated objective.
 //
-// On context interruption it returns the context error; the returned
-// architecture is non-nil only when it is feasible despite the
-// interruption (total width within Wmax, every core assigned) — the
-// objective is not meaningful in that case and the caller re-scores.
+// On interruption it returns the stop error; the returned architecture
+// is non-nil only when it is feasible despite the interruption (total
+// width within Wmax, every core assigned) — the objective is not
+// meaningful in that case and the caller re-scores.
 func (e *Engine) startSolution(ctx context.Context) (*tam.Architecture, int64, error) {
 	a := tam.New(e.SOC, e.Times)
 	for _, c := range e.SOC.Cores() {
 		a.AddRail([]int{c.ID}, 1)
 	}
-	obj, err := e.Eval.Evaluate(a)
+	obj, err := e.eval(a)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -212,14 +321,15 @@ func (e *Engine) startSolution(ctx context.Context) (*tam.Architecture, int64, e
 			victim := e.Wmax
 			res, err := e.Par.mapCandidates(ctx, a, e.Wmax, func(cand *tam.Architecture, i int) (int64, int64, error) {
 				mergeInto(cand, i, victim, 1)
-				o, err := e.Eval.Evaluate(cand)
+				o, err := e.eval(cand)
 				return o, 0, err
 			})
 			if err != nil {
-				// Context errors included: mid-merge-down the
+				// Stop errors included: mid-merge-down the
 				// architecture is not feasible yet.
 				return nil, 0, err
 			}
+			e.emitCandidates(phaseStartSol, res)
 			best := -1
 			var bestObj int64
 			for i, r := range res {
@@ -228,13 +338,13 @@ func (e *Engine) startSolution(ctx context.Context) (*tam.Architecture, int64, e
 				}
 			}
 			mergeInto(a, best, victim, 1)
-			if obj, err = e.Eval.Evaluate(a); err != nil {
+			if obj, err = e.eval(a); err != nil {
 				return nil, 0, err
 			}
 		}
 	} else if free := e.Wmax - len(a.Rails); free > 0 {
-		if obj, err = e.distributeFreeWires(ctx, a, free, e.Par); err != nil {
-			if isCtxErr(err) {
+		if obj, err = e.distributeFreeWires(ctx, a, free, e.Par, e.Trace); err != nil {
+			if isStop(err) {
 				// a is feasible with some wires undistributed.
 				return a, 0, err
 			}
@@ -264,8 +374,9 @@ func mergeInto(a *tam.Architecture, dst, src int, width int) {
 //
 // The widening trials of one wire are independent and fan out on pe;
 // callers already running inside a worker (the per-candidate calls in
-// mergeTAMs) pass nil to stay serial and keep the pool bounded.
-func (e *Engine) distributeFreeWires(ctx context.Context, a *tam.Architecture, free int, pe *ParallelEvaluator) (int64, error) {
+// mergeTAMs) pass nil to stay serial and keep the pool bounded, and
+// pass a nil sink so only the coordinator-level call traces.
+func (e *Engine) distributeFreeWires(ctx context.Context, a *tam.Architecture, free int, pe *ParallelEvaluator, sink obs.Sink) (int64, error) {
 	for ; free > 0; free-- {
 		if err := ctx.Err(); err != nil {
 			return 0, err
@@ -282,7 +393,7 @@ func (e *Engine) distributeFreeWires(ctx context.Context, a *tam.Architecture, f
 		res, err := pe.mapCandidates(ctx, a, len(widen), func(cand *tam.Architecture, i int) (int64, int64, error) {
 			r := cand.Rails[widen[i]]
 			r.Width++
-			o, err := e.Eval.Evaluate(cand)
+			o, err := e.eval(cand)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -290,6 +401,11 @@ func (e *Engine) distributeFreeWires(ctx context.Context, a *tam.Architecture, f
 		})
 		if err != nil {
 			return 0, err
+		}
+		if sink != nil {
+			for i := range res {
+				sink.Emit(obs.Event{Type: obs.CandidateEvaluated, Phase: phaseStartSol, Cand: i, Obj: res[i].obj})
+			}
 		}
 		best := -1
 		var bestObj, bestUsed int64
@@ -300,7 +416,7 @@ func (e *Engine) distributeFreeWires(ctx context.Context, a *tam.Architecture, f
 		}
 		a.Rails[widen[best]].Width++
 	}
-	return e.Eval.Evaluate(a)
+	return e.eval(a)
 }
 
 // mergeTAMs implements the paper's mergeTAMs procedure: given the rail
@@ -309,8 +425,9 @@ func (e *Engine) distributeFreeWires(ctx context.Context, a *tam.Architecture, f
 // resulting architecture if it beats the current objective; otherwise
 // the original architecture. The context is checked before every
 // candidate evaluation; an interruption aborts the enumeration and
-// propagates the context error, leaving the caller's incumbent intact.
-func (e *Engine) mergeTAMs(ctx context.Context, a *tam.Architecture, curObj int64, r1 int) (*tam.Architecture, int64, error) {
+// propagates the stop error, leaving the caller's incumbent intact.
+// phase labels the batch's trace events.
+func (e *Engine) mergeTAMs(ctx context.Context, a *tam.Architecture, curObj int64, r1 int, phase string) (*tam.Architecture, int64, error) {
 	w1 := a.Rails[r1].Width
 	type mergeSpec struct{ ri, w int }
 	var specs []mergeSpec
@@ -345,17 +462,18 @@ func (e *Engine) mergeTAMs(ctx context.Context, a *tam.Architecture, curObj int6
 		cand.Rails[dst].Width = sp.w
 		cand.Rails = append(cand.Rails[:src], cand.Rails[src+1:]...)
 		if leftover := w1 + wi - sp.w; leftover > 0 {
-			if _, err := e.distributeFreeWires(ctx, cand, leftover, nil); err != nil {
+			if _, err := e.distributeFreeWires(ctx, cand, leftover, nil, nil); err != nil {
 				return 0, 0, err
 			}
 		}
-		o, err := e.Eval.Evaluate(cand)
+		o, err := e.eval(cand)
 		return o, 0, err
 	}
 	res, err := e.Par.mapCandidates(ctx, a, len(specs), build)
 	if err != nil {
 		return nil, 0, err
 	}
+	e.emitCandidates(phase, res)
 	best, bestObj := -1, curObj
 	for i, r := range res {
 		if r.obj < bestObj {
@@ -363,19 +481,29 @@ func (e *Engine) mergeTAMs(ctx context.Context, a *tam.Architecture, curObj int6
 		}
 	}
 	if best < 0 {
+		if e.Trace != nil && len(specs) > 0 {
+			e.Trace.Emit(obs.Event{Type: obs.MergeRejected, Phase: phase, Obj: curObj, N: int64(len(specs))})
+		}
 		return a, curObj, nil
 	}
 	winner, err := rebuild(a, best, build)
 	if err != nil {
 		return nil, 0, err
 	}
+	if e.Trace != nil {
+		e.Trace.Emit(obs.Event{
+			Type: obs.MergeAccepted, Phase: phase,
+			Cand: best, Obj: bestObj, Best: bestObj,
+			Rails: len(winner.Rails), N: int64(len(specs)),
+		})
+	}
 	return winner, bestObj, nil
 }
 
 // coreReshuffle implements Line 37: iteratively move one core from a
 // bottleneck rail (a rail critical to the objective) to another rail
-// while that reduces the objective.
-func (e *Engine) coreReshuffle(ctx context.Context, a *tam.Architecture, curObj int64) (*tam.Architecture, int64, error) {
+// while that reduces the objective. phase labels the trace events.
+func (e *Engine) coreReshuffle(ctx context.Context, a *tam.Architecture, curObj int64, phase string) (*tam.Architecture, int64, error) {
 	for {
 		sources := bottleneckRails(a)
 		type cmove struct {
@@ -399,13 +527,14 @@ func (e *Engine) coreReshuffle(ctx context.Context, a *tam.Architecture, curObj 
 			mv := specs[i]
 			removeCore(cand.Rails[mv.from], mv.coreID)
 			insertCore(cand.Rails[mv.to], mv.coreID)
-			o, err := e.Eval.Evaluate(cand)
+			o, err := e.eval(cand)
 			return o, 0, err
 		}
 		res, err := e.Par.mapCandidates(ctx, a, len(specs), build)
 		if err != nil {
 			return nil, 0, err
 		}
+		e.emitCandidates(phase, res)
 		best, bestObj := -1, curObj
 		for i, r := range res {
 			if r.obj < bestObj {
@@ -413,11 +542,21 @@ func (e *Engine) coreReshuffle(ctx context.Context, a *tam.Architecture, curObj 
 			}
 		}
 		if best < 0 {
+			if e.Trace != nil && len(specs) > 0 {
+				e.Trace.Emit(obs.Event{Type: obs.MergeRejected, Phase: phase, Obj: curObj, N: int64(len(specs))})
+			}
 			return a, curObj, nil
 		}
 		winner, err := rebuild(a, best, build)
 		if err != nil {
 			return nil, 0, err
+		}
+		if e.Trace != nil {
+			e.Trace.Emit(obs.Event{
+				Type: obs.MergeAccepted, Phase: phase,
+				Cand: best, Obj: bestObj, Best: bestObj,
+				Rails: len(winner.Rails), N: int64(len(specs)),
+			})
 		}
 		a, curObj = winner, bestObj
 	}

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"sitam/internal/obs"
 	"sitam/internal/sischedule"
 	"sitam/internal/tam"
 )
@@ -100,13 +101,23 @@ type Breakdown struct {
 // Evaluate computes the breakdown of an architecture under the given
 // groups and model, also refreshing the rails' bookkeeping.
 func EvaluateBreakdown(a *tam.Architecture, groups []*sischedule.Group, m sischedule.Model) (Breakdown, *sischedule.Schedule, error) {
+	return EvaluateBreakdownObs(a, groups, m, nil)
+}
+
+// EvaluateBreakdownObs is EvaluateBreakdown with tracing: the final
+// schedule's slots are reported as si_group_scheduled events inside an
+// "si schedule" phase span whose Best carries T_soc — the endpoint of
+// the run's convergence curve.
+func EvaluateBreakdownObs(a *tam.Architecture, groups []*sischedule.Group, m sischedule.Model, sink obs.Sink) (Breakdown, *sischedule.Schedule, error) {
 	for _, r := range a.Rails {
 		a.RefreshTimeIn(r)
 	}
-	sched, err := sischedule.ScheduleSITest(a, groups, m)
+	span := obs.Span(sink, "si schedule")
+	sched, err := sischedule.ScheduleSITestObs(a, groups, m, sink)
 	if err != nil {
 		return Breakdown{}, nil, err
 	}
 	in := a.InTestTime()
+	span.End(in+sched.TotalSI, int64(len(groups)))
 	return Breakdown{TimeIn: in, TimeSI: sched.TotalSI, TimeSOC: in + sched.TotalSI}, sched, nil
 }

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
+	"sitam/internal/obs"
 	"sitam/internal/tam"
 )
 
@@ -37,31 +39,34 @@ func (e *Engine) OptimizeILSCtx(ctx context.Context, kicks int, seed int64) (*ta
 		return nil, 0, Status{}, fmt.Errorf("core: negative kick count %d", kicks)
 	}
 	best, bestObj, st, err := e.OptimizeCtx(ctx)
-	if err != nil || st.Partial {
+	if err != nil || st.Partial || kicks == 0 {
 		return best, bestObj, st, err
 	}
 	rng := rand.New(rand.NewSource(seed))
 	cur, curObj := best, bestObj
-	partial := func(err error, phase string) (*tam.Architecture, int64, Status, error) {
-		return best, bestObj, Status{Partial: true, Reason: stopReason(err, phase)}, nil
+	end := e.phase(phaseILS)
+	partial := func(err error, reason string, kick int) (*tam.Architecture, int64, Status, error) {
+		e.stopEvent(err, phaseILS, kick)
+		end(bestObj)
+		return best, bestObj, Status{Partial: true, Reason: stopReason(err, reason), Cause: CauseOf(err)}, nil
 	}
 	for k := 0; k < kicks; k++ {
 		if cerr := ctx.Err(); cerr != nil {
-			return partial(cerr, fmt.Sprintf("ILS kick %d/%d", k+1, kicks))
+			return partial(cerr, fmt.Sprintf("ILS kick %d/%d", k+1, kicks), k+1)
 		}
 		cand := cur.Clone()
 		e.kick(cand, rng)
-		obj, err := e.Eval.Evaluate(cand)
+		obj, err := e.eval(cand)
 		if err != nil {
-			if isCtxErr(err) {
-				return partial(err, fmt.Sprintf("ILS kick %d/%d", k+1, kicks))
+			if isStop(err) {
+				return partial(err, fmt.Sprintf("ILS kick %d/%d", k+1, kicks), k+1)
 			}
 			return nil, 0, Status{}, err
 		}
 		cand, obj, err = e.localSearch(ctx, cand, obj)
 		if err != nil {
-			if isCtxErr(err) {
-				return partial(err, fmt.Sprintf("ILS local search, kick %d/%d", k+1, kicks))
+			if isStop(err) {
+				return partial(err, fmt.Sprintf("ILS local search, kick %d/%d", k+1, kicks), k+1)
 			}
 			return nil, 0, Status{}, err
 		}
@@ -73,7 +78,11 @@ func (e *Engine) OptimizeILSCtx(ctx context.Context, kicks int, seed int64) (*ta
 		if curObj < bestObj {
 			best, bestObj = cur, curObj
 		}
+		if e.Trace != nil {
+			e.Trace.Emit(obs.Event{Type: obs.ILSKick, Phase: phaseILS, Kick: k + 1, Seed: seed, Obj: obj, Best: bestObj})
+		}
 	}
+	end(bestObj)
 	return best, bestObj, Status{}, nil
 }
 
@@ -94,6 +103,12 @@ func (e *Engine) OptimizeILSRestarts(kicks, restarts int, seed int64) (*tam.Arch
 // any restart produced so far is returned with Status.Partial set and
 // a nil error; the context's error comes back only when no restart
 // produced anything.
+//
+// Each restart traces into its own buffer, drained into the engine's
+// sink in restart order once all restarts finish, and counts
+// evaluations into its own counter (folded into the engine total), so
+// the trace and the per-phase counts are deterministic at any worker
+// count. MaxEvals bounds each restart independently.
 func (e *Engine) OptimizeILSRestartsCtx(ctx context.Context, kicks, restarts int, seed int64) (*tam.Architecture, int64, Status, error) {
 	if restarts < 1 {
 		return nil, 0, Status{}, fmt.Errorf("core: restart count %d < 1", restarts)
@@ -108,11 +123,24 @@ func (e *Engine) OptimizeILSRestartsCtx(ctx context.Context, kicks, restarts int
 		err error
 	}
 	res := make([]outcome, restarts)
+	var locals []*obs.Local
+	if e.Trace != nil {
+		locals = make([]*obs.Local, restarts)
+		for i := range locals {
+			locals[i] = obs.NewLocal()
+		}
+	}
+	counters := make([]*atomic.Int64, restarts)
 	run := func(i int) {
 		// Each restart searches serially: concurrency lives at the
 		// restart level, so the pool stays bounded by Par.Workers.
 		inner := *e
 		inner.Par = nil
+		inner.evals = new(atomic.Int64)
+		counters[i] = inner.evals
+		if locals != nil {
+			inner.Trace = locals[i]
+		}
 		r := &res[i]
 		r.a, r.obj, r.st, r.err = inner.OptimizeILSCtx(ctx, kicks, seed+int64(i))
 	}
@@ -123,19 +151,29 @@ func (e *Engine) OptimizeILSRestartsCtx(ctx context.Context, kicks, restarts int
 			run(i)
 		}
 	}
+	if e.evals != nil {
+		for _, c := range counters {
+			if c != nil {
+				e.evals.Add(c.Load())
+			}
+		}
+	}
+	if locals != nil {
+		obs.Drain(e.Trace, locals...)
+	}
 	best := -1
 	partial := Status{}
 	for i := range res {
 		r := &res[i]
 		if r.err != nil {
-			if isCtxErr(r.err) {
-				partial = Status{Partial: true, Reason: stopReason(r.err, fmt.Sprintf("ILS restart %d/%d", i+1, restarts))}
+			if isStop(r.err) {
+				partial = statusOf(r.err, fmt.Sprintf("ILS restart %d/%d", i+1, restarts))
 				continue
 			}
 			return nil, 0, Status{}, r.err
 		}
 		if r.st.Partial {
-			partial = Status{Partial: true, Reason: r.st.Reason}
+			partial = r.st
 		}
 		if best < 0 || r.obj < res[best].obj {
 			best = i
@@ -152,14 +190,14 @@ func (e *Engine) OptimizeILSRestartsCtx(ctx context.Context, kicks, restarts int
 func (e *Engine) localSearch(ctx context.Context, a *tam.Architecture, obj int64) (*tam.Architecture, int64, error) {
 	for improved := true; improved && len(a.Rails) > 1; {
 		sortByTimeUsed(a)
-		a2, obj2, err := e.mergeTAMs(ctx, a, obj, len(a.Rails)-1)
+		a2, obj2, err := e.mergeTAMs(ctx, a, obj, len(a.Rails)-1, phaseILSLocal)
 		if err != nil {
 			return nil, 0, err
 		}
 		improved = obj2 < obj
 		a, obj = a2, obj2
 	}
-	return e.coreReshuffle(ctx, a, obj)
+	return e.coreReshuffle(ctx, a, obj, phaseILSLocal)
 }
 
 // kick applies a random perturbation in place: move 1-2 random cores to

@@ -5,7 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"sitam/internal/obs"
 	"sitam/internal/sischedule"
 	"sitam/internal/soc"
 	"sitam/internal/tam"
@@ -29,6 +31,15 @@ type ParallelEvaluator struct {
 	// 0 means runtime.GOMAXPROCS(0), 1 evaluates serially, larger
 	// values cap the pool explicitly.
 	Workers int
+
+	// Pool counters, nil unless a metrics registry was attached (see
+	// NewParallelEngine). busyNS sums per-candidate evaluation time
+	// across workers and wallNS the batches' elapsed time, so
+	// busy/(wall*workers) is the pool utilization. Timestamps are
+	// taken only when timed is set.
+	batches, candidates *obs.Counter
+	busyNS, wallNS      *obs.Counter
+	timed               bool
 }
 
 // workers resolves the effective pool size.
@@ -110,6 +121,11 @@ func (p *ParallelEvaluator) mapCandidates(ctx context.Context, base *tam.Archite
 	if n == 0 {
 		return nil, nil
 	}
+	timed := p != nil && p.timed
+	var wallStart time.Time
+	if timed {
+		wallStart = time.Now()
+	}
 	k := p.workers()
 	if k <= 1 || n == 1 {
 		scratch := &tam.Architecture{}
@@ -125,10 +141,18 @@ func (p *ParallelEvaluator) mapCandidates(ctx context.Context, base *tam.Archite
 			}
 			res[i] = candResult{obj: obj, aux: aux}
 		}
+		if timed {
+			wall := int64(time.Since(wallStart))
+			p.busyNS.Add(wall) // one goroutine: busy time is wall time
+			p.wallNS.Add(wall)
+			p.batches.Inc()
+			p.candidates.Add(int64(n))
+		}
 		return res, nil
 	}
 	res := make([]candResult, n)
 	scratches := make([]*tam.Architecture, k)
+	busy := make([]int64, k)
 	parallelFor(k, n, func(worker, i int) {
 		if err := ctx.Err(); err != nil {
 			res[i].err = err
@@ -140,8 +164,23 @@ func (p *ParallelEvaluator) mapCandidates(ctx context.Context, base *tam.Archite
 			scratches[worker] = scratch
 		}
 		scratch.CopyFrom(base)
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		res[i].obj, res[i].aux, res[i].err = job(scratch, i)
+		if timed {
+			busy[worker] += int64(time.Since(t0))
+		}
 	})
+	if timed {
+		for _, b := range busy {
+			p.busyNS.Add(b)
+		}
+		p.wallNS.Add(int64(time.Since(wallStart)))
+		p.batches.Inc()
+		p.candidates.Add(int64(n))
+	}
 	for i := range res {
 		if res[i].err != nil {
 			return nil, res[i].err
@@ -163,8 +202,8 @@ func rebuild(base *tam.Architecture, i int, job func(cand *tam.Architecture, i i
 	return cand, nil
 }
 
-// ParallelConfig bundles the concurrency and memoization knobs of the
-// optimization entry points.
+// ParallelConfig bundles the concurrency, memoization and
+// observability knobs of the optimization entry points.
 type ParallelConfig struct {
 	// Workers bounds concurrent candidate evaluations: 0 means
 	// runtime.GOMAXPROCS(0), 1 runs serially.
@@ -173,6 +212,22 @@ type ParallelConfig struct {
 	// CacheSize is the evaluation cache capacity in entries: 0 selects
 	// DefaultCacheSize, negative disables memoization.
 	CacheSize int
+
+	// MaxEvals bounds the objective evaluations of the run; 0 means
+	// unlimited. An exhausted budget ends the run like a cancelled
+	// context: partial result, CauseBudget.
+	MaxEvals int64
+
+	// Trace collects the structured search-trace of the run. nil (the
+	// default) disables tracing. At Workers==1 the trace additionally
+	// carries per-lookup cache hit/miss events; under concurrency the
+	// hit/miss split is timing-dependent, so it is metrics-only.
+	Trace *obs.Tracer
+
+	// Metrics collects the run's counters, gauges and phase-duration
+	// histograms; a snapshot lands on Result.Metrics. nil disables
+	// collection.
+	Metrics *obs.Registry
 }
 
 // NewParallelEngine builds an Engine whose candidate evaluations run
@@ -189,13 +244,33 @@ func NewParallelEngine(s *soc.SOC, wmax int, eval Evaluator, cfg ParallelConfig)
 	if err != nil {
 		return nil, nil, err
 	}
-	eng.Par = &ParallelEvaluator{Workers: cfg.Workers}
+	par := &ParallelEvaluator{Workers: cfg.Workers}
+	eng.Par = par
+	eng.MaxEvals = cfg.MaxEvals
+	if cfg.Trace != nil {
+		eng.Trace = cfg.Trace
+		if cache != nil && par.workers() == 1 {
+			// Per-lookup cache events are deterministic only when one
+			// goroutine evaluates; see the obs package comment.
+			cache.sink = cfg.Trace
+		}
+	}
+	if cfg.Metrics != nil {
+		eng.Metrics = cfg.Metrics
+		par.batches = cfg.Metrics.Counter("pool_batches")
+		par.candidates = cfg.Metrics.Counter("pool_candidates")
+		par.busyNS = cfg.Metrics.Counter("pool_busy_ns")
+		par.wallNS = cfg.Metrics.Counter("pool_wall_ns")
+		par.timed = true
+		cfg.Metrics.Gauge("pool_workers").Set(int64(par.workers()))
+	}
 	return eng, cache, nil
 }
 
 // TAMOptimizationWith is TAMOptimizationCtx with parallel candidate
-// evaluation and memoization per cfg; the result additionally carries
-// the cache statistics of the run.
+// evaluation, memoization and observability per cfg; the result
+// additionally carries the cache statistics and metrics snapshot of
+// the run.
 func TAMOptimizationWith(ctx context.Context, s *soc.SOC, wmax int, groups []*sischedule.Group, m sischedule.Model, cfg ParallelConfig) (*Result, error) {
 	eng, cache, err := NewParallelEngine(s, wmax, &SIEvaluator{Groups: groups, Model: m}, cfg)
 	if err != nil {
@@ -205,13 +280,5 @@ func TAMOptimizationWith(ctx context.Context, s *soc.SOC, wmax int, groups []*si
 	if err != nil {
 		return nil, err
 	}
-	bd, sched, err := EvaluateBreakdown(arch, groups, m)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Architecture: arch, Breakdown: bd, Schedule: sched, Partial: st.Partial, Reason: st.Reason}
-	if cache != nil {
-		res.Cache = cache.Stats()
-	}
-	return res, nil
+	return eng.Finish(arch, st, groups, m, cache)
 }

@@ -7,6 +7,7 @@ import (
 
 	"sitam/internal/compaction"
 	"sitam/internal/hypergraph"
+	"sitam/internal/obs"
 	"sitam/internal/sifault"
 	"sitam/internal/sischedule"
 	"sitam/internal/soc"
@@ -47,6 +48,9 @@ type GroupingResult struct {
 
 	// Reason describes what was cut short when Partial is set.
 	Reason string
+
+	// Cause classifies the interruption when Partial is set.
+	Cause StopCause
 }
 
 // TotalCompacted returns the total compacted pattern count across all
@@ -72,6 +76,11 @@ type GroupingOptions struct {
 	// Tolerance is the partitioner's balance tolerance; zero uses the
 	// partitioner default (0.10).
 	Tolerance float64
+
+	// Trace receives the grouping pipeline's search-trace events
+	// (partitioning and per-group compaction spans); nil disables
+	// tracing.
+	Trace obs.Sink
 }
 
 // BuildGroups runs the paper's two-dimensional SI test-set compaction
@@ -156,6 +165,7 @@ func BuildGroupsCtx(ctx context.Context, s *soc.SOC, patterns []*sifault.Pattern
 		assign, _, partitionCut, err = hypergraph.PartitionKCtx(ctx, h, opts.Parts, hypergraph.Options{
 			Seed:      opts.Seed,
 			Tolerance: opts.Tolerance,
+			Trace:     opts.Trace,
 		})
 		if err != nil {
 			return nil, err
@@ -197,7 +207,7 @@ func BuildGroupsCtx(ctx context.Context, s *soc.SOC, patterns []*sifault.Pattern
 		if len(ps) == 0 {
 			return
 		}
-		comp, stats, cut := compaction.GreedyCtx(ctx, sp, ps)
+		comp, stats, cut := compaction.GreedyObs(ctx, sp, ps, opts.Trace, name)
 		compactionCut = compactionCut || cut
 		res.Stats.Original += stats.Original
 		res.Stats.Compacted += stats.Compacted
@@ -228,6 +238,7 @@ func BuildGroupsCtx(ctx context.Context, s *soc.SOC, patterns []*sifault.Pattern
 	}
 	if partitionCut || compactionCut {
 		res.Partial = true
+		res.Cause = CauseOf(ctx.Err())
 		switch {
 		case partitionCut && compactionCut:
 			res.Reason = stopReason(ctx.Err(), "partitioning and compaction")
@@ -270,11 +281,44 @@ func TAMOptimizationCtx(ctx context.Context, s *soc.SOC, wmax int, groups []*sis
 	if err != nil {
 		return nil, err
 	}
-	bd, sched, err := EvaluateBreakdown(arch, groups, m)
+	return eng.Finish(arch, st, groups, m, nil)
+}
+
+// Finish assembles the Result of an optimization run: it evaluates the
+// final architecture's breakdown and SI schedule (emitting the
+// si_group_scheduled events when the engine traces), snapshots the
+// cache counters and metrics onto the result, and carries the anytime
+// status. Every entry point that produces a Result funnels through it.
+func (e *Engine) Finish(arch *tam.Architecture, st Status, groups []*sischedule.Group, m sischedule.Model, cache *CachedEvaluator) (*Result, error) {
+	bd, sched, err := EvaluateBreakdownObs(arch, groups, m, e.Trace)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Architecture: arch, Breakdown: bd, Schedule: sched, Partial: st.Partial, Reason: st.Reason}, nil
+	res := &Result{
+		Architecture: arch, Breakdown: bd, Schedule: sched,
+		Partial: st.Partial, Reason: st.Reason, Cause: st.Cause,
+	}
+	if cache != nil {
+		res.Cache = cache.Stats()
+	}
+	res.Metrics = e.snapshotMetrics(cache)
+	return res, nil
+}
+
+// snapshotMetrics copies the registry (when attached) into plain data
+// and adds the counters every run has regardless of a registry: total
+// evaluations and the cache totals.
+func (e *Engine) snapshotMetrics(cache *CachedEvaluator) *obs.Snapshot {
+	snap := e.Metrics.Snapshot() // nil-safe: empty snapshot without a registry
+	snap.Counters["evals"] = e.evalCount()
+	if cache != nil {
+		st := cache.Stats()
+		snap.Counters["cache_hits"] = st.Hits
+		snap.Counters["cache_misses"] = st.Misses
+		snap.Counters["cache_evictions"] = st.Evictions
+		snap.Gauges["cache_entries"] = int64(st.Entries)
+	}
+	return snap
 }
 
 // Result is the outcome of a TAM optimization run: the designed
@@ -294,8 +338,19 @@ type Result struct {
 	// "deadline exceeded during bottom-up merge".
 	Reason string
 
+	// Cause classifies the interruption when Partial is set: deadline
+	// expiry, cancellation or budget exhaustion.
+	Cause StopCause
+
 	// Cache holds the evaluation-cache counters of the run, when the
 	// optimization ran with memoization (TAMOptimizationWith and the
 	// cfg-aware facade entry points); zero otherwise.
 	Cache CacheStats
+
+	// Metrics is the run's metrics snapshot. Always non-nil on results
+	// assembled by the engine: it carries at least the "evals" counter
+	// and, with memoization, the cache totals; runs configured with a
+	// metrics registry add the pool counters and phase-duration
+	// histograms.
+	Metrics *obs.Snapshot
 }

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"sitam/internal/obs"
 )
 
 // Edge is one hyperedge: a set of vertex indices and a weight.
@@ -105,6 +107,12 @@ type Options struct {
 	// CoarsenTo stops coarsening once the vertex count is at or below
 	// this size. Zero defaults to 40.
 	CoarsenTo int
+
+	// Trace receives the partitioner's search-trace events: a
+	// "partition" phase span whose PhaseEnd carries the cut weight,
+	// plus a deadline_hit event when the search ran degraded. nil
+	// disables tracing.
+	Trace obs.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -148,6 +156,7 @@ func PartitionKCtx(ctx context.Context, h *Hypergraph, k int, opts Options) ([]i
 	if k > n {
 		return nil, 0, false, fmt.Errorf("hypergraph: k=%d exceeds vertex count %d", k, n)
 	}
+	span := obs.Span(opts.Trace, "partition")
 	rng := rand.New(rand.NewSource(opts.Seed))
 	// Recursive bisection: split [0,k) parts over the vertex set,
 	// proportionally by part count.
@@ -193,7 +202,15 @@ func PartitionKCtx(ctx context.Context, h *Hypergraph, k int, opts Options) ([]i
 	}
 	// Cancellation is permanent, so checking once at the end captures
 	// whether any stage above ran in degraded mode.
-	return assign, h.CutWeight(assign), ctx.Err() != nil, nil
+	cut := h.CutWeight(assign)
+	degraded := ctx.Err() != nil
+	if opts.Trace != nil {
+		if degraded {
+			opts.Trace.Emit(obs.Event{Type: obs.DeadlineHit, Phase: "partition", Cause: obs.CtxCause(ctx.Err())})
+		}
+		span.End(0, cut)
+	}
+	return assign, cut, degraded, nil
 }
 
 // forceCounts moves the lightest vertices between sides until each side

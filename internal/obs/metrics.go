@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The metrics side of the observability layer: named atomic counters,
+// gauges and histograms collected in a Registry and exported as a
+// plain-data Snapshot on Result.Metrics. Every metric type is nil-safe
+// — a nil *Counter/*Gauge/*Histogram ignores writes and reads zero —
+// so instrumented code can hold metric handles unconditionally and pay
+// one branch when metrics are off.
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value; zero on a nil counter.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set records the value. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Load returns the current value; zero on a nil gauge.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates a distribution of int64 observations (count,
+// sum, min, max) using atomics only. Obtain histograms from a Registry
+// — NewHistogram seeds the extrema sentinels the CAS loops rely on, so
+// the zero value is not ready to use (a nil histogram is).
+type Histogram struct {
+	count, sum atomic.Int64
+	min, max   atomic.Int64
+}
+
+// NewHistogram returns an empty histogram ready for observations.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Stats returns the accumulated distribution; the zero value on a nil
+// or empty histogram.
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil {
+		return HistogramStats{}
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return HistogramStats{}
+	}
+	return HistogramStats{
+		Count: n,
+		Sum:   h.sum.Load(),
+		Min:   h.min.Load(),
+		Max:   h.max.Load(),
+	}
+}
+
+// HistogramStats is the exported summary of a Histogram.
+type HistogramStats struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (s HistogramStats) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Registry is a concurrency-safe collection of named metrics. Handles
+// are created lazily on first use and live for the registry's
+// lifetime. A nil *Registry hands out nil handles, which are themselves
+// safe to use, so callers thread a possibly-nil registry freely.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil on
+// a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot copies the current metric values into plain data. Safe on a
+// nil registry (returns an empty snapshot).
+func (r *Registry) Snapshot() *Snapshot {
+	s := NewSnapshot()
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		if st := h.Stats(); st.Count > 0 {
+			s.Histograms[name] = st
+		}
+	}
+	return s
+}
+
+// Snapshot is a plain-data copy of a registry's metrics, attached to
+// Result.Metrics and serialized with the result JSON.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]int64          `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// NewSnapshot returns an empty snapshot with initialized maps.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramStats),
+	}
+}
+
+// Counter returns a named counter value; zero when absent or on a nil
+// snapshot.
+func (s *Snapshot) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.Counters[name]
+}
+
+// Format renders the snapshot as sorted "name value" lines, one metric
+// per line, for the CLIs' -stats output. Deterministic for a given
+// snapshot.
+func (s *Snapshot) Format() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-28s %d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-28s %d\n", name, s.Gauges[name])
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := s.Histograms[name]
+		fmt.Fprintf(&b, "%-28s count=%d sum=%d min=%d max=%d mean=%.1f\n",
+			name, st.Count, st.Sum, st.Min, st.Max, st.Mean())
+	}
+	return b.String()
+}

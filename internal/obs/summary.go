@@ -1,0 +1,82 @@
+package obs
+
+// Trace post-processing shared by the sitrace summarizer, the CLIs'
+// -stats output and the differential tests: per-phase aggregation of
+// the span events and the convergence curve of the run.
+
+// PhaseAgg aggregates the phase_end events of one phase.
+type PhaseAgg struct {
+	// Phase is the phase name.
+	Phase string
+
+	// Spans is the number of closed spans of the phase.
+	Spans int
+
+	// WallNS is the summed wall-clock duration of the spans.
+	WallNS int64
+
+	// N is the summed phase-specific count (see Event.N).
+	N int64
+}
+
+// AggregatePhases folds a trace's phase_end events into per-phase
+// aggregates, in order of each phase's first appearance.
+func AggregatePhases(events []Event) []PhaseAgg {
+	index := make(map[string]int)
+	var out []PhaseAgg
+	for i := range events {
+		ev := &events[i]
+		if ev.Type != PhaseEnd {
+			continue
+		}
+		j, ok := index[ev.Phase]
+		if !ok {
+			j = len(out)
+			index[ev.Phase] = j
+			out = append(out, PhaseAgg{Phase: ev.Phase})
+		}
+		out[j].Spans++
+		out[j].WallNS += ev.DurNS
+		out[j].N += ev.N
+	}
+	return out
+}
+
+// CurvePoint is one point of a run's convergence curve.
+type CurvePoint struct {
+	// Seq is the sequence number of the event that improved the best.
+	Seq uint64
+
+	// Evals is the cumulative number of candidate_evaluated events at
+	// that point.
+	Evals int64
+
+	// Best is the incumbent objective after the improvement.
+	Best int64
+}
+
+// Curve extracts the convergence curve of a trace: the running minimum
+// of the Best field over the events that carry one (Best > 0; phases
+// without an incumbent objective leave Best at zero). For an SI-aware
+// optimization trace the final point's Best equals the returned
+// Breakdown.TimeSOC — the engine's incumbent objective is monotone and
+// the closing "si schedule" span re-scores the returned architecture
+// with the same cost model. An empty slice means the trace carries no
+// objective at all.
+func Curve(events []Event) []CurvePoint {
+	var out []CurvePoint
+	var evals int64
+	for i := range events {
+		ev := &events[i]
+		if ev.Type == CandidateEvaluated {
+			evals++
+		}
+		if ev.Best <= 0 {
+			continue
+		}
+		if len(out) == 0 || ev.Best < out[len(out)-1].Best {
+			out = append(out, CurvePoint{Seq: ev.Seq, Evals: evals, Best: ev.Best})
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// Sink receives search-trace events. Emitters hold a Sink and guard
+// every emission with a nil check, so a disabled trace costs one
+// branch. Implementations: *Tracer (ordered, locked, the collector a
+// run hands out) and *Local (unlocked per-worker buffer drained into a
+// Tracer in deterministic order).
+type Sink interface {
+	Emit(Event)
+}
+
+// Tracer is the ordered trace collector of one run. It assigns
+// contiguous sequence numbers under a mutex; emission is cheap (an
+// append) but serialized, which is why concurrent regions emit into
+// per-worker Local buffers instead and drain them in a deterministic
+// order afterwards.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTracer returns an empty trace collector.
+func NewTracer() *Tracer {
+	return &Tracer{}
+}
+
+// Emit implements Sink: stamps the event with the next sequence number
+// and records it.
+func (t *Tracer) Emit(ev Event) {
+	t.mu.Lock()
+	ev.Seq = uint64(len(t.events))
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Len returns the number of collected events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the collected trace.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// WriteJSONL serializes the collected trace one JSON object per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	t.mu.Lock()
+	events := t.events
+	t.mu.Unlock()
+	return WriteJSONL(w, events)
+}
+
+// Local is an unlocked event buffer for one worker (or one ILS
+// restart). Workers emit into their own Local without synchronization;
+// the coordinator drains the buffers into the shared Tracer in a
+// deterministic order once the concurrent region is over.
+type Local struct {
+	events []Event
+}
+
+// NewLocal returns an empty per-worker buffer.
+func NewLocal() *Local {
+	return &Local{}
+}
+
+// Emit implements Sink.
+func (l *Local) Emit(ev Event) {
+	l.events = append(l.events, ev)
+}
+
+// SpanHandle is an open phase span returned by Span.
+type SpanHandle struct {
+	sink  Sink
+	phase string
+	start time.Time
+}
+
+// Span emits a PhaseStart for phase on sink and returns a handle whose
+// End emits the matching PhaseEnd. A nil sink yields an inert handle
+// and takes no timestamps, so callers bracket phases unconditionally.
+func Span(sink Sink, phase string) SpanHandle {
+	if sink == nil {
+		return SpanHandle{}
+	}
+	sink.Emit(Event{Type: PhaseStart, Phase: phase})
+	return SpanHandle{sink: sink, phase: phase, start: time.Now()}
+}
+
+// End closes the span with the incumbent objective (0 when the phase
+// has none) and the phase-specific count n.
+func (s SpanHandle) End(best, n int64) {
+	if s.sink == nil {
+		return
+	}
+	s.sink.Emit(Event{
+		Type: PhaseEnd, Phase: s.phase,
+		Best: best, N: n, DurNS: int64(time.Since(s.start)),
+	})
+}
+
+// Drain replays the buffered events of each Local into dst in argument
+// order, then empties the buffers. Sequence numbers are re-assigned by
+// dst, so the drained trace is as deterministic as the drain order.
+func Drain(dst Sink, locals ...*Local) {
+	if dst == nil {
+		return
+	}
+	for _, l := range locals {
+		if l == nil {
+			continue
+		}
+		for _, ev := range l.events {
+			dst.Emit(ev)
+		}
+		l.events = nil
+	}
+}

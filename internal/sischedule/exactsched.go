@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"sitam/internal/obs"
 	"sitam/internal/tam"
 )
 
@@ -36,6 +37,27 @@ func ExactSchedule(a *tam.Architecture, groups []*Group, m Model) (int64, int, e
 // below it. If the context fires before any complete schedule was
 // found, the context's error is returned.
 func ExactScheduleCtx(ctx context.Context, a *tam.Architecture, groups []*Group, m Model) (int64, int, bool, error) {
+	return ExactScheduleObs(ctx, a, groups, m, nil)
+}
+
+// ExactScheduleObs is ExactScheduleCtx with tracing: the search is
+// bracketed in an "exact schedule" phase span whose PhaseEnd carries
+// the optimal (or best-so-far) makespan and the explored node count,
+// and an interruption additionally emits a deadline_hit event. A nil
+// sink traces nothing.
+func ExactScheduleObs(ctx context.Context, a *tam.Architecture, groups []*Group, m Model, sink obs.Sink) (int64, int, bool, error) {
+	span := obs.Span(sink, "exact schedule")
+	t, nodes, stopped, err := exactSchedule(ctx, a, groups, m)
+	if sink != nil && err == nil {
+		if stopped {
+			sink.Emit(obs.Event{Type: obs.DeadlineHit, Phase: "exact schedule", Cause: obs.CtxCause(ctx.Err())})
+		}
+		span.End(t, int64(nodes))
+	}
+	return t, nodes, stopped, err
+}
+
+func exactSchedule(ctx context.Context, a *tam.Architecture, groups []*Group, m Model) (int64, int, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, 0, false, err
 	}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sitam/internal/obs"
 	"sitam/internal/tam"
 )
 
@@ -159,6 +160,34 @@ type Schedule struct {
 // As a side effect it refreshes each rail's TimeSI field with the rail's
 // accumulated busy time.
 func ScheduleSITest(a *tam.Architecture, groups []*Group, m Model) (*Schedule, error) {
+	return ScheduleSITestObs(a, groups, m, nil)
+}
+
+// ScheduleSITestObs is ScheduleSITest with tracing: each scheduled
+// slot is reported as an si_group_scheduled event (group name, begin
+// and end times, involved rail count, bottleneck rail, pattern count)
+// in slot order, which is deterministic. A nil sink traces nothing.
+func ScheduleSITestObs(a *tam.Architecture, groups []*Group, m Model, sink obs.Sink) (*Schedule, error) {
+	sched, err := scheduleSITest(a, groups, m)
+	if err != nil || sink == nil {
+		return sched, err
+	}
+	for i := range sched.Slots {
+		sl := &sched.Slots[i]
+		if len(sl.Rails) == 0 {
+			continue // group touches no rail: nothing was placed
+		}
+		sink.Emit(obs.Event{
+			Type: obs.SIGroupScheduled, Group: sl.Group.Name,
+			Begin: sl.Begin, End: sl.End,
+			Rails: len(sl.Rails), Rail: sl.Bottleneck,
+			N: sl.Group.Patterns,
+		})
+	}
+	return sched, nil
+}
+
+func scheduleSITest(a *tam.Architecture, groups []*Group, m Model) (*Schedule, error) {
 	times, err := CalculateSITestTime(a, groups, m)
 	if err != nil {
 		return nil, err

@@ -92,15 +92,17 @@ func OptimizeThenScheduleSICtx(ctx context.Context, s *soc.SOC, wmax int, groups
 }
 
 // OptimizeThenScheduleSIWith is OptimizeThenScheduleSICtx with
-// parallel candidate evaluation and memoization per cfg.
+// parallel candidate evaluation, memoization, tracing and metrics per
+// cfg. Result.Cause, Result.Cache and Result.Metrics are populated the
+// same way as for the SI-aware optimizer.
 func OptimizeThenScheduleSIWith(ctx context.Context, s *soc.SOC, wmax int, groups []*sischedule.Group, m sischedule.Model, cfg core.ParallelConfig) (*core.Result, error) {
-	arch, _, st, err := OptimizeWithCtx(ctx, s, wmax, cfg)
+	eng, cache, err := core.NewParallelEngine(s, wmax, core.InTestEvaluator{}, cfg)
 	if err != nil {
 		return nil, err
 	}
-	bd, sched, err := core.EvaluateBreakdown(arch, groups, m)
+	arch, _, st, err := eng.OptimizeCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return &core.Result{Architecture: arch, Breakdown: bd, Schedule: sched, Partial: st.Partial, Reason: st.Reason}, nil
+	return eng.Finish(arch, st, groups, m, cache)
 }
