@@ -388,7 +388,7 @@ func OptimizeILS(s *SOC, wmax int, groups []*Group, m Model, kicks int, seed int
 // back only when no valid architecture was produced.
 func OptimizeILSCtx(ctx context.Context, s *SOC, wmax int, groups []*Group, m Model, kicks int, seed int64) (res *Result, err error) {
 	defer guard(&err)
-	eng, err := core.NewEngine(s, wmax, &core.SIEvaluator{Groups: groups, Model: m})
+	eng, err := core.NewEngine(s, wmax, core.NewIncrementalSIEvaluator(groups, m))
 	if err != nil {
 		return nil, err
 	}
@@ -407,7 +407,7 @@ func OptimizeILSCtx(ctx context.Context, s *SOC, wmax int, groups []*Group, m Mo
 // with cfg exactly. Result.Cache carries the cache counters of the run.
 func OptimizeILSWith(ctx context.Context, s *SOC, wmax int, groups []*Group, m Model, kicks, restarts int, seed int64, cfg ParallelConfig) (res *Result, err error) {
 	defer guard(&err)
-	eng, cache, err := core.NewParallelEngine(s, wmax, &core.SIEvaluator{Groups: groups, Model: m}, cfg)
+	eng, cache, err := core.NewParallelEngine(s, wmax, core.NewIncrementalSIEvaluator(groups, m), cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@ package sitam
 import (
 	"context"
 	"testing"
+	"time"
 
 	"sitam/internal/compaction"
 	"sitam/internal/core"
@@ -424,6 +425,87 @@ func Benchmark_CacheColdVsWarm(b *testing.B) {
 		}
 		b.ReportMetric(100*cache.Stats().HitRate(), "cache_hit_%")
 	})
+}
+
+// --- Incremental delta evaluation benches ---
+
+// Benchmark_IncrementalEval isolates the delta-evaluation win: a full
+// serial p93791 W=64 optimization (no memoization cache, workers=1)
+// under the from-scratch SIEvaluator versus the incremental evaluator
+// (dirty-rail TimeIn refresh + per-rail SI composition memo). The
+// differential suite pins both to byte-identical results, so the
+// comparison is pure wall-clock.
+func Benchmark_IncrementalEval(b *testing.B) {
+	s := soc.MustLoadBenchmark("p93791")
+	patterns, err := sifault.Generate(s, sifault.GenConfig{N: 10000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gr, err := core.BuildGroups(s, patterns, core.GroupingOptions{Parts: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sischedule.DefaultModel()
+	run := func(b *testing.B, eval core.Evaluator) {
+		eng, _, err := core.NewParallelEngine(s, 64, eval, core.ParallelConfig{Workers: 1, CacheSize: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := eng.OptimizeCtx(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("scratch", func(b *testing.B) {
+		run(b, &core.SIEvaluator{Groups: gr.Groups, Model: m})
+	})
+	b.Run("incremental", func(b *testing.B) {
+		run(b, core.NewIncrementalSIEvaluator(gr.Groups, m))
+	})
+}
+
+// Benchmark_ColdCacheGuard guards against the cold-run cache
+// regression BENCH_parallel.json recorded for the string-keyed cache:
+// with the incremental hash keying, a cold cached optimization must
+// not be meaningfully slower than an uncached one. Both variants are
+// timed inside one benchmark run so they see the same machine state;
+// the assertion allows a generous noise margin (the steady-state
+// numbers live in BENCH_incremental.json).
+func Benchmark_ColdCacheGuard(b *testing.B) {
+	s := soc.MustLoadBenchmark("p34392")
+	patterns, err := sifault.Generate(s, sifault.GenConfig{N: 10000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gr, err := core.BuildGroups(s, patterns, core.GroupingOptions{Parts: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sischedule.DefaultModel()
+	time1 := func(cfg core.ParallelConfig) time.Duration {
+		t0 := time.Now()
+		if _, err := core.TAMOptimizationWith(context.Background(), s, 64, gr.Groups, m, cfg); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	// Warm the planner memo and allocator so both variants run steady.
+	time1(core.ParallelConfig{Workers: 1, CacheSize: -1})
+	var uncached, cached time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uncached += time1(core.ParallelConfig{Workers: 1, CacheSize: -1})
+		cached += time1(core.ParallelConfig{Workers: 1}) // fresh cache: cold run
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(uncached.Nanoseconds())/float64(b.N), "nocache_ns")
+	b.ReportMetric(float64(cached.Nanoseconds())/float64(b.N), "coldcache_ns")
+	if cached > uncached*3/2 {
+		b.Errorf("cold cached run %v is >1.5x the uncached run %v — hash-keyed cache regressed", cached, uncached)
+	}
 }
 
 // Benchmark_AblationSchedulingOverlap compares Algorithm 1's

@@ -21,6 +21,7 @@ package compaction
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"sitam/internal/obs"
@@ -49,82 +50,116 @@ func (s Stats) Ratio() float64 {
 	return float64(s.Original) / float64(s.Compacted)
 }
 
-// accumulator is the dense merge state for one greedy seed pass. Epoch
-// marking avoids clearing the arrays between passes.
-type accumulator struct {
-	sym      []sifault.Symbol
-	symEpoch []uint32
-	drv      []int32
-	drvEpoch []uint32
-	epoch    uint32
-	touched  []int32 // positions determined this epoch
-	busUsed  []int32 // bus lines occupied this epoch
+// bitsetAccumulator is the word-parallel merge state for one greedy
+// seed pass: per 64 positions one interleaved [care, v0, v1] plane
+// entry (the care mask plus the two value bits of Symbol-1 — see
+// sifault.PackedWord), so a compatibility check costs one AND and two
+// XORs per 64 care positions instead of one comparison per care
+// position, and the three planes of a word share one cache line.
+//
+// Bus occupation rides the same machinery: bus line L maps to the
+// pseudo-word plane busBase+L whose care plane is all-ones when the
+// line is occupied and whose v0 plane carries the driver verbatim —
+// the generic conflict formula then reads "occupied and a different
+// driver", exactly the shared-bus rule. One uniform loop per candidate
+// replaces the separate care and bus scans.
+//
+// The planes of untouched words are all-zero — reset clears only the
+// entries the last pass touched — which keeps the conflict test free
+// of epoch loads: a zero care plane can never intersect.
+type bitsetAccumulator struct {
+	planes   [][3]uint64 // care, v0, v1 per word; bus pseudo-words after busBase
+	busBase  int32
+	touchedW []int32 // care word indices determined this pass
+	busUsed  []int32 // bus plane indices occupied this pass
 }
 
-func newAccumulator(nPos, nBus int) *accumulator {
-	return &accumulator{
-		sym:      make([]sifault.Symbol, nPos),
-		symEpoch: make([]uint32, nPos),
-		drv:      make([]int32, nBus),
-		drvEpoch: make([]uint32, nBus),
+func newBitsetAccumulator(nPos, nBus int) *bitsetAccumulator {
+	nWords := (nPos + 63) / 64
+	return &bitsetAccumulator{
+		planes:  make([][3]uint64, nWords+nBus),
+		busBase: int32(nWords),
 	}
 }
 
-func (a *accumulator) reset() {
-	a.epoch++
-	a.touched = a.touched[:0]
+func (a *bitsetAccumulator) reset() {
+	for _, wi := range a.touchedW {
+		a.planes[wi] = [3]uint64{}
+	}
+	for _, wi := range a.busUsed {
+		a.planes[wi] = [3]uint64{}
+	}
+	a.touchedW = a.touchedW[:0]
 	a.busUsed = a.busUsed[:0]
 }
 
-// compatible reports whether p can merge into the current accumulation.
-func (a *accumulator) compatible(p *sifault.Pattern) bool {
-	for _, c := range p.Care {
-		if a.symEpoch[c.Pos] == a.epoch && a.sym[c.Pos] != c.Sym {
-			return false
-		}
-	}
-	for _, b := range p.Bus {
-		if a.drvEpoch[b.Line] == a.epoch && a.drv[b.Line] != b.Driver {
+// compatible reports whether the pattern (packed care words plus bus
+// pseudo-words) can merge into the current accumulation. A conflict is
+// a shared care bit whose value planes differ; masking with both care
+// planes first keeps the value comparison to genuinely shared bits.
+func (a *bitsetAccumulator) compatible(items []sifault.PackedWord) bool {
+	planes := a.planes
+	for i := range items {
+		w := &items[i]
+		pl := &planes[w.Idx]
+		if pl[0]&w.Care&((pl[1]^w.V0)|(pl[2]^w.V1)) != 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// merge absorbs p; the caller must have checked compatible(p).
-func (a *accumulator) merge(p *sifault.Pattern) {
-	for _, c := range p.Care {
-		if a.symEpoch[c.Pos] != a.epoch {
-			a.symEpoch[c.Pos] = a.epoch
-			a.sym[c.Pos] = c.Sym
-			a.touched = append(a.touched, c.Pos)
+// merge absorbs the pattern; the caller must have checked compatible.
+// ORing the value planes is exact: shared care positions carry equal
+// symbols and shared bus lines equal drivers (checked), and bits
+// outside a word's care mask are zero. A zero care plane identifies an
+// untouched entry (every packed word carries at least one care bit and
+// bus pseudo-words an all-ones mask), so no epoch bookkeeping is
+// needed.
+func (a *bitsetAccumulator) merge(items []sifault.PackedWord) {
+	for i := range items {
+		w := &items[i]
+		pl := &a.planes[w.Idx]
+		if pl[0] == 0 {
+			if w.Idx >= a.busBase {
+				a.busUsed = append(a.busUsed, w.Idx)
+			} else {
+				a.touchedW = append(a.touchedW, w.Idx)
+			}
 		}
-	}
-	for _, b := range p.Bus {
-		if a.drvEpoch[b.Line] != a.epoch {
-			a.drvEpoch[b.Line] = a.epoch
-			a.drv[b.Line] = b.Driver
-			a.busUsed = append(a.busUsed, b.Line)
-		}
+		pl[0] |= w.Care
+		pl[1] |= w.V0
+		pl[2] |= w.V1
 	}
 }
 
 // pattern materializes the accumulated merge as a Pattern of the given
-// total weight.
-func (a *accumulator) pattern(weight int64) *sifault.Pattern {
+// total weight, identical to the scalar reference's output: care
+// entries sorted by position, bus uses sorted by line.
+func (a *bitsetAccumulator) pattern(weight int64) *sifault.Pattern {
 	p := &sifault.Pattern{
-		Care:       make([]sifault.Care, 0, len(a.touched)),
 		VictimPos:  -1,
 		VictimCore: -1,
 		Weight:     int32(weight),
 	}
-	sort.Slice(a.touched, func(i, j int) bool { return a.touched[i] < a.touched[j] })
-	for _, pos := range a.touched {
-		p.Care = append(p.Care, sifault.Care{Pos: pos, Sym: a.sym[pos]})
+	sort.Slice(a.touchedW, func(i, j int) bool { return a.touchedW[i] < a.touchedW[j] })
+	n := 0
+	for _, wi := range a.touchedW {
+		n += bits.OnesCount64(a.planes[wi][0])
+	}
+	p.Care = make([]sifault.Care, 0, n)
+	for _, wi := range a.touchedW {
+		base := int32(wi) << 6
+		pl := &a.planes[wi]
+		for m := pl[0]; m != 0; m &= m - 1 {
+			b := uint(bits.TrailingZeros64(m))
+			sym := sifault.Symbol(1 + (pl[1]>>b)&1 + 2*((pl[2]>>b)&1))
+			p.Care = append(p.Care, sifault.Care{Pos: base + int32(b), Sym: sym})
+		}
 	}
 	sort.Slice(a.busUsed, func(i, j int) bool { return a.busUsed[i] < a.busUsed[j] })
-	for _, l := range a.busUsed {
-		p.Bus = append(p.Bus, sifault.BusUse{Line: l, Driver: a.drv[l]})
+	for _, wi := range a.busUsed {
+		p.Bus = append(p.Bus, sifault.BusUse{Line: wi - a.busBase, Driver: int32(uint32(a.planes[wi][1]))})
 	}
 	return p
 }
@@ -165,51 +200,132 @@ func GreedyObs(ctx context.Context, sp *sifault.Space, patterns []*sifault.Patte
 	return out, stats, cut
 }
 
+// packPatterns packs every pattern's care list (as PackedWords) and
+// bus list (as bus pseudo-words: all-ones care mask, driver in v0) into
+// one shared arena, and returns per-pattern item slices index-aligned
+// with patterns. Per-pattern runs stay contiguous in memory and the
+// precomputed slice headers keep the hot loop to two contiguous-array
+// loads per candidate — no *Pattern dereference on the compatibility
+// path.
+//
+// Bus pseudo-words are placed BEFORE the care words of each pattern:
+// item order inside one pattern cannot change the conflict verdict
+// (conflict is "any item conflicts") or the merge result (ORs commute),
+// but bus words carry an all-ones care mask and so are the most
+// discriminating conflict probes — putting them first lets the reject
+// path of the greedy scan exit earliest.
+func packPatterns(patterns []*sifault.Pattern, busBase int32) (itemsOf [][]sifault.PackedWord) {
+	n := 0
+	for _, p := range patterns {
+		n += len(p.Care) + len(p.Bus)
+	}
+	arena := make([]sifault.PackedWord, 0, n)
+	off := make([]int32, len(patterns)+1)
+	for i, p := range patterns {
+		off[i] = int32(len(arena))
+		arena = sifault.AppendPackedWords(arena, p)
+		for _, b := range p.Bus {
+			arena = append(arena, sifault.PackedWord{
+				Idx: busBase + b.Line, Care: ^uint64(0), V0: uint64(uint32(b.Driver)),
+			})
+		}
+	}
+	off[len(patterns)] = int32(len(arena))
+	itemsOf = make([][]sifault.PackedWord, len(patterns))
+	for i := range patterns {
+		itemsOf[i] = arena[off[i]:off[i+1]:off[i+1]]
+	}
+	return itemsOf
+}
+
 func greedy(ctx context.Context, sp *sifault.Space, patterns []*sifault.Pattern) ([]*sifault.Pattern, Stats, bool) {
-	acc := newAccumulator(sp.Total(), sp.BusWidth())
-	alive := make([]bool, len(patterns))
-	remaining := make([]int, len(patterns))
+	acc := newBitsetAccumulator(sp.Total(), sp.BusWidth())
+	itemsOf := packPatterns(patterns, acc.busBase)
+	remaining := make([]int32, len(patterns))
 	var original int64
 	for i, p := range patterns {
-		alive[i] = true
-		remaining[i] = i
+		remaining[i] = int32(i)
 		original += int64(p.Weight)
 	}
 
 	var out []*sifault.Pattern
 	cut := false
 	passes := 0
+
+	// Fused first-fit super-passes. The serial greedy — one seed pass
+	// per output pattern, each streaming the whole remaining set — is
+	// exactly first-fit binning: every candidate joins the FIRST seed
+	// pass that accepts it. First-fit over B open accumulators in one
+	// stream reproduces it bit for bit: when candidate X is reached,
+	// accumulator b holds precisely the candidates before X that were
+	// rejected by accumulators 0..b-1 and accepted by b — the same
+	// prefix state the serial pass b would hold when checking X — and a
+	// candidate rejected by every open accumulator opens the next one,
+	// which is the serial rule "the first reject of a pass seeds the
+	// next pass". So B serial passes fuse into ONE stream over
+	// remaining. The total conflict-check count is unchanged, but the
+	// packed items of a candidate are loaded once per super-pass and
+	// stay L1-hot across all B accumulator checks, and the stream count
+	// over the (multi-MB, DRAM-resident) arena drops by B — this is
+	// what makes the bitset path memory-lean rather than
+	// bandwidth-bound at production scale. B trades accumulator-state
+	// footprint (B × planes must stay cache-resident) against stream
+	// count; 16 keeps the state within L1/L2 on anything current.
+	const fanout = 16
+	accs := make([]*bitsetAccumulator, fanout)
+	accs[0] = acc
+	for b := 1; b < fanout; b++ {
+		accs[b] = newBitsetAccumulator(sp.Total(), sp.BusWidth())
+	}
+	weights := make([]int64, fanout)
+
 	for len(remaining) > 0 {
+		// The context is honored at super-pass granularity (every
+		// fanout output patterns) rather than per seed pass.
 		if ctx.Err() != nil {
 			// Graceful degradation: pass the unmerged remainder
 			// through untouched rather than dropping coverage.
 			cut = true
 			for _, idx := range remaining {
-				alive[idx] = false
 				out = append(out, patterns[idx])
 			}
 			break
 		}
-		acc.reset()
-		seed := patterns[remaining[0]]
-		acc.merge(seed)
-		weight := int64(seed.Weight)
-		alive[remaining[0]] = false
-
+		nOpen := 0
 		next := remaining[:0]
-		for _, idx := range remaining[1:] {
-			p := patterns[idx]
-			if acc.compatible(p) {
-				acc.merge(p)
-				weight += int64(p.Weight)
-				alive[idx] = false
-			} else {
-				next = append(next, idx)
+	cand:
+		for _, idx := range remaining {
+			items := itemsOf[idx]
+			for b := 0; b < nOpen; b++ {
+				planes := accs[b].planes
+				for i := range items {
+					w := &items[i]
+					pl := &planes[w.Idx]
+					if pl[0]&w.Care&((pl[1]^w.V0)|(pl[2]^w.V1)) != 0 {
+						goto rejected
+					}
+				}
+				accs[b].merge(items)
+				weights[b] += int64(patterns[idx].Weight)
+				continue cand
+			rejected:
 			}
+			if nOpen < fanout {
+				// Rejected by every open accumulator: this candidate
+				// is the seed of the next serial pass.
+				accs[nOpen].merge(items)
+				weights[nOpen] = int64(patterns[idx].Weight)
+				nOpen++
+				continue
+			}
+			next = append(next, idx)
 		}
 		remaining = next
-		out = append(out, acc.pattern(weight))
-		passes++
+		for b := 0; b < nOpen; b++ {
+			out = append(out, accs[b].pattern(weights[b]))
+			accs[b].reset()
+			passes++
+		}
 	}
 	return out, Stats{Original: original, Compacted: len(out), Passes: passes}, cut
 }

@@ -1,0 +1,159 @@
+package compaction
+
+import (
+	"context"
+	"testing"
+
+	"sitam/internal/sifault"
+	"sitam/internal/soc"
+)
+
+// Differential coverage for the word-parallel bitset greedy against
+// the scalar per-position reference: the two implementations must
+// produce byte-identical compacted pattern sets on real fixtures, on
+// fuzzed generator inputs, and the packed conflict check must agree
+// with the pairwise Compatible predicate.
+
+func samePatternSets(t *testing.T, got, want []*sifault.Pattern) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("compacted %d patterns, scalar %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Weight != w.Weight || g.VictimPos != w.VictimPos || g.VictimCore != w.VictimCore {
+			t.Fatalf("pattern %d: header (%d,%d,%d) vs (%d,%d,%d)",
+				i, g.Weight, g.VictimPos, g.VictimCore, w.Weight, w.VictimPos, w.VictimCore)
+		}
+		if len(g.Care) != len(w.Care) {
+			t.Fatalf("pattern %d: %d care entries, scalar %d", i, len(g.Care), len(w.Care))
+		}
+		for j := range w.Care {
+			if g.Care[j] != w.Care[j] {
+				t.Fatalf("pattern %d care %d: %+v vs %+v", i, j, g.Care[j], w.Care[j])
+			}
+		}
+		if len(g.Bus) != len(w.Bus) {
+			t.Fatalf("pattern %d: %d bus uses, scalar %d", i, len(g.Bus), len(w.Bus))
+		}
+		for j := range w.Bus {
+			if g.Bus[j] != w.Bus[j] {
+				t.Fatalf("pattern %d bus %d: %+v vs %+v", i, j, g.Bus[j], w.Bus[j])
+			}
+		}
+	}
+}
+
+func TestGreedyBitsetMatchesScalar(t *testing.T) {
+	cases := []struct {
+		fixture string
+		n       int
+		seed    int64
+	}{
+		{"d695", 3000, 1},
+		{"d695", 3000, 2},
+		{"d695", 500, 3},
+		{"p34392", 2000, 1},
+		{"p93791", 2000, 5},
+	}
+	for _, tc := range cases {
+		if testing.Short() && tc.fixture != "d695" {
+			continue
+		}
+		s := soc.MustLoadBenchmark(tc.fixture)
+		patterns, err := sifault.Generate(s, sifault.GenConfig{N: tc.n, Seed: tc.seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := sifault.NewSpace(s)
+		ctx := context.Background()
+		got, gotStats, gotCut := greedy(ctx, sp, patterns)
+		want, wantStats, wantCut := greedyScalar(ctx, sp, patterns)
+		if gotCut || wantCut {
+			t.Fatalf("%s/N=%d/seed=%d: unexpected cut (bitset %v, scalar %v)", tc.fixture, tc.n, tc.seed, gotCut, wantCut)
+		}
+		if gotStats != wantStats {
+			t.Errorf("%s/N=%d/seed=%d: stats %+v vs scalar %+v", tc.fixture, tc.n, tc.seed, gotStats, wantStats)
+		}
+		samePatternSets(t, got, want)
+	}
+}
+
+// TestGreedyCancelledMatchesScalar pins the graceful-degradation path:
+// with an already-expired context both implementations pass the whole
+// input through unmerged and report the cut.
+func TestGreedyCancelledMatchesScalar(t *testing.T) {
+	s := soc.MustLoadBenchmark("d695")
+	patterns, err := sifault.Generate(s, sifault.GenConfig{N: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sifault.NewSpace(s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, _, gotCut := greedy(ctx, sp, patterns)
+	want, _, wantCut := greedyScalar(ctx, sp, patterns)
+	if !gotCut || !wantCut {
+		t.Fatalf("cut not reported (bitset %v, scalar %v)", gotCut, wantCut)
+	}
+	samePatternSets(t, got, want)
+	if len(got) != len(patterns) {
+		t.Errorf("cancelled run emitted %d patterns, want the full %d pass-through", len(got), len(patterns))
+	}
+}
+
+// TestBitsetCompatibleMatchesPairwise checks the packed conflict
+// formula against the pairwise Compatible predicate over generated
+// pattern pairs, including the bus pseudo-word encoding.
+func TestBitsetCompatibleMatchesPairwise(t *testing.T) {
+	s := soc.MustLoadBenchmark("d695")
+	patterns, err := sifault.Generate(s, sifault.GenConfig{N: 300, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sifault.NewSpace(s)
+	acc := newBitsetAccumulator(sp.Total(), sp.BusWidth())
+	itemsOf := packPatterns(patterns, acc.busBase)
+	checked, conflicts := 0, 0
+	for i := 0; i < len(patterns); i++ {
+		for j := i + 1; j < len(patterns) && j < i+40; j++ {
+			acc.reset()
+			acc.merge(itemsOf[i])
+			got := acc.compatible(itemsOf[j])
+			want := Compatible(patterns[i], patterns[j])
+			if got != want {
+				t.Fatalf("patterns %d,%d: packed compatible = %v, pairwise = %v", i, j, got, want)
+			}
+			checked++
+			if !got {
+				conflicts++
+			}
+		}
+	}
+	if conflicts == 0 || conflicts == checked {
+		t.Fatalf("degenerate corpus: %d/%d conflicts", conflicts, checked)
+	}
+}
+
+// FuzzGreedyMatchesScalar cross-checks the two greedy implementations
+// on generator outputs across fuzzed sizes and seeds.
+func FuzzGreedyMatchesScalar(f *testing.F) {
+	f.Add(uint16(50), int64(1))
+	f.Add(uint16(333), int64(99))
+	f.Add(uint16(1), int64(0))
+	f.Fuzz(func(t *testing.T, n uint16, seed int64) {
+		s := soc.MustLoadBenchmark("d695")
+		patterns, err := sifault.Generate(s, sifault.GenConfig{N: int(n%500) + 1, Seed: seed})
+		if err != nil {
+			t.Skip()
+		}
+		sp := sifault.NewSpace(s)
+		ctx := context.Background()
+		got, gotStats, _ := greedy(ctx, sp, patterns)
+		want, wantStats, _ := greedyScalar(ctx, sp, patterns)
+		if gotStats != wantStats {
+			t.Fatalf("stats %+v vs scalar %+v", gotStats, wantStats)
+		}
+		samePatternSets(t, got, want)
+	})
+}

@@ -1,9 +1,6 @@
 package core
 
 import (
-	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -20,8 +17,19 @@ import (
 // composition — per-rail InTest times depend only on (cores, width),
 // and Algorithm 1's T_soc_si and per-rail busy times are invariant
 // under rail permutation (the group conflict relation is defined on
-// rail identities, not indices) — so a canonical sorted-composition
+// rail identities, not indices) — so an order-independent composition
 // key memoizes it exactly.
+//
+// The key is tam.Architecture.Hash(): the XOR of the rails' FNV-1a
+// (width, cores) sub-hashes, maintained incrementally by the dirty-rail
+// machinery. Keying therefore costs O(dirty rails) and zero
+// allocations, replacing the sorted-composition string key whose
+// build-and-sort overhead BENCH_parallel.json flagged as roughly
+// offsetting the memoization win on cold runs. A 64-bit collision over
+// a cache of at most 2^16 entries has probability ~1e-10 per run;
+// lookups additionally verify the per-rail sub-hashes and fall back to
+// a fresh evaluation on any mismatch, so a collision can cost
+// performance but never correctness.
 
 // DefaultCacheSize is the entry capacity used when a CachedEvaluator
 // is built with a non-positive capacity.
@@ -51,15 +59,16 @@ func (s CacheStats) HitRate() float64 {
 }
 
 // cachedRail preserves the bookkeeping side effects of one rail's
-// evaluation, keyed by the rail's composition ("cores@width").
+// evaluation, keyed by the rail's composition sub-hash. TimeIn needs no
+// entry: the keying Hash() call refreshes every rail's TimeIn already.
 type cachedRail struct {
-	key            string
-	timeIn, timeSI int64
+	hash   uint64
+	timeSI int64
 }
 
 type cacheEntry struct {
 	obj   int64
-	rails []cachedRail // sorted by key
+	rails []cachedRail // in the architecture's rail order at store time
 }
 
 // CachedEvaluator memoizes an Evaluator by rail composition. It is
@@ -75,7 +84,7 @@ type CachedEvaluator struct {
 	hits, misses atomic.Int64
 	evictions    atomic.Int64
 	mu           sync.Mutex
-	entries      map[string]*cacheEntry
+	entries      map[uint64]cacheEntry
 
 	// sink receives per-lookup cache_hit/cache_miss events. Set only
 	// for single-worker runs (NewParallelEngine): under concurrency
@@ -96,46 +105,76 @@ func NewCachedEvaluator(inner Evaluator, capacity int) *CachedEvaluator {
 	return &CachedEvaluator{
 		Inner:    inner,
 		capacity: capacity,
-		entries:  make(map[string]*cacheEntry),
+		entries:  make(map[uint64]cacheEntry),
 	}
 }
 
-// railCompKey returns one rail's composition key: its core-ID
-// signature plus its width.
-func railCompKey(r *tam.Rail) string {
-	return railKey(r) + "@" + strconv.Itoa(r.Width)
-}
-
-// archKey returns the architecture's canonical composition key: the
-// sorted rail composition keys. perRail receives the unsorted per-rail
-// keys, index-aligned with a.Rails, for restoring bookkeeping on a hit.
-func archKey(a *tam.Architecture) (key string, perRail []string) {
-	perRail = make([]string, len(a.Rails))
+// restore replays the cached per-rail TimeSI bookkeeping onto a. It
+// reports false — leaving a untouched — when the rails' sub-hash
+// multiset does not match the entry, i.e. on an XOR hash collision.
+//
+// The common hit presents the rails in the same order they were stored
+// (candidate generation is deterministic, so a revisited composition
+// is laid out identically), which the aligned fast path verifies with
+// one linear compare and no sorting anywhere. Permuted hits take a
+// quadratic match with a use-once bitmask — rail counts are a few
+// dozen, and the mask keeps duplicate sub-hashes (identical rails)
+// honest. Architectures beyond 64 rails skip the permuted path and
+// re-evaluate; correctness is unaffected.
+func (ent *cacheEntry) restore(a *tam.Architecture) bool {
+	if len(ent.rails) != len(a.Rails) {
+		return false
+	}
+	rails := ent.rails
+	aligned := true
 	for i, r := range a.Rails {
-		perRail[i] = railCompKey(r)
+		if rails[i].hash != r.Hash() {
+			aligned = false
+			break
+		}
 	}
-	sorted := append([]string(nil), perRail...)
-	sort.Strings(sorted)
-	return strings.Join(sorted, ";"), perRail
+	if aligned {
+		for i, r := range a.Rails {
+			r.TimeSI = rails[i].timeSI
+		}
+		return true
+	}
+	if len(rails) > 64 {
+		return false
+	}
+	var used uint64
+	for _, r := range a.Rails {
+		h := r.Hash()
+		found := false
+		for j := range rails {
+			if used&(1<<uint(j)) == 0 && rails[j].hash == h {
+				used |= 1 << uint(j)
+				r.TimeSI = rails[j].timeSI
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // Evaluate implements Evaluator. On a hit it restores the per-rail
 // TimeIn/TimeSI bookkeeping exactly as a fresh inner evaluation would
-// have set it; on a miss it forwards to the inner evaluator and caches
-// the outcome. Errors are never cached.
+// have set it (TimeIn via the keying refresh, TimeSI from the entry);
+// on a miss it forwards to the inner evaluator and caches the outcome.
+// Errors are never cached.
 func (c *CachedEvaluator) Evaluate(a *tam.Architecture) (int64, error) {
-	key, perRail := archKey(a)
+	key := a.Hash() // refreshes dirty rails: TimeIn and sub-hashes are now current
 	c.mu.Lock()
 	ent, ok := c.entries[key]
 	c.mu.Unlock()
-	if ok {
+	if ok && ent.restore(a) {
 		c.hits.Add(1)
 		if c.sink != nil {
 			c.sink.Emit(obs.Event{Type: obs.CacheHit})
-		}
-		for i, r := range a.Rails {
-			j := sort.Search(len(ent.rails), func(j int) bool { return ent.rails[j].key >= perRail[i] })
-			r.TimeIn, r.TimeSI = ent.rails[j].timeIn, ent.rails[j].timeSI
 		}
 		return ent.obj, nil
 	}
@@ -147,14 +186,13 @@ func (c *CachedEvaluator) Evaluate(a *tam.Architecture) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	ent = &cacheEntry{obj: obj, rails: make([]cachedRail, len(a.Rails))}
+	ent = cacheEntry{obj: obj, rails: make([]cachedRail, len(a.Rails))}
 	for i, r := range a.Rails {
-		ent.rails[i] = cachedRail{key: perRail[i], timeIn: r.TimeIn, timeSI: r.TimeSI}
+		ent.rails[i] = cachedRail{hash: r.Hash(), timeSI: r.TimeSI}
 	}
-	sort.Slice(ent.rails, func(i, j int) bool { return ent.rails[i].key < ent.rails[j].key })
 	c.mu.Lock()
 	if len(c.entries) >= c.capacity {
-		c.entries = make(map[string]*cacheEntry)
+		c.entries = make(map[uint64]cacheEntry)
 		c.evictions.Add(1)
 	}
 	c.entries[key] = ent
@@ -179,7 +217,7 @@ func (c *CachedEvaluator) Stats() CacheStats {
 // cold-vs-warm benchmarks).
 func (c *CachedEvaluator) Reset() {
 	c.mu.Lock()
-	c.entries = make(map[string]*cacheEntry)
+	c.entries = make(map[uint64]cacheEntry)
 	c.mu.Unlock()
 	c.ResetStats()
 }

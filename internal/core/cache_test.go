@@ -29,9 +29,9 @@ func freshRails(w int) *tam.Architecture {
 	return a
 }
 
-// mutateArch applies one random validity-preserving perturbation:
-// moving a core, widening or narrowing a rail, or carving a core out
-// into a new single-wire rail.
+// mutateArch applies one random validity-preserving perturbation
+// through the tam mutation API: moving a core, widening or narrowing a
+// rail, or carving a core out into a new single-wire rail.
 func mutateArch(a *tam.Architecture, rng *rand.Rand) {
 	switch rng.Intn(4) {
 	case 0: // move a core between rails
@@ -40,29 +40,28 @@ func mutateArch(a *tam.Architecture, rng *rand.Rand) {
 			return
 		}
 		id := a.Rails[from].Cores[rng.Intn(len(a.Rails[from].Cores))]
-		removeCore(a.Rails[from], id)
 		to := rng.Intn(len(a.Rails) - 1)
 		if to >= from {
 			to++
 		}
-		insertCore(a.Rails[to], id)
+		a.MoveCore(from, to, id)
 	case 1: // widen (within the width range the time table covers)
-		if r := a.Rails[rng.Intn(len(a.Rails))]; r.Width < 12 {
-			r.Width++
+		if i := rng.Intn(len(a.Rails)); a.Rails[i].Width < 12 {
+			a.SetWidth(i, a.Rails[i].Width+1)
 		}
 	case 2: // narrow
-		r := a.Rails[rng.Intn(len(a.Rails))]
-		if r.Width > 1 {
-			r.Width--
+		i := rng.Intn(len(a.Rails))
+		if a.Rails[i].Width > 1 {
+			a.SetWidth(i, a.Rails[i].Width-1)
 		}
-	case 3: // carve a core into a new rail
+	case 3: // carve a core into a new rail, keeping the source width
 		from := rng.Intn(len(a.Rails))
 		if len(a.Rails[from].Cores) < 2 {
 			return
 		}
 		id := a.Rails[from].Cores[rng.Intn(len(a.Rails[from].Cores))]
-		removeCore(a.Rails[from], id)
-		a.Rails = append(a.Rails, &tam.Rail{Cores: []int{id}, Width: 1})
+		a.CarveCore(from, id)
+		a.SetWidth(from, a.Rails[from].Width+1) // undo CarveCore's wire shrink
 	}
 }
 
@@ -136,13 +135,17 @@ func TestCachePermutationInvariance(t *testing.T) {
 	cached := NewCachedEvaluator(&SIEvaluator{Groups: groups, Model: m}, 0)
 	fresh := &SIEvaluator{Groups: groups, Model: m}
 	a := freshRails(2)
-	a.Rails[0].Width = 3 // make rails distinguishable
+	a.SetWidth(0, 3) // make rails distinguishable
 	checkCachedEqualsFresh(t, cached, fresh, a)
 	perm := a.Clone()
 	r := perm.Rails
 	perm.Rails = []*tam.Rail{r[3], r[1], r[4], r[0], r[2]}
 	for i := range perm.Rails {
+		// Zero the bookkeeping and mark the rails stale so the hit must
+		// rebuild both fields (TimeIn via the keying refresh, TimeSI
+		// from the entry).
 		perm.Rails[i].TimeIn, perm.Rails[i].TimeSI = 0, 0
+		perm.MarkDirty(i)
 	}
 	checkCachedEqualsFresh(t, cached, fresh, perm)
 	st := cached.Stats()

@@ -253,13 +253,13 @@ func (e *Engine) OptimizeCtx(ctx context.Context) (*tam.Architecture, int64, Sta
 	skip := map[string]bool{}
 	if len(a.Rails) > 0 {
 		sortByTimeUsed(a)
-		skip[railKey(a.Rails[0])] = true // top-down loop just failed on it
+		skip[a.Rails[0].Key()] = true // top-down loop just failed on it
 	}
 	for {
 		sortByTimeUsed(a)
 		pick := -1
 		for i, r := range a.Rails {
-			if !skip[railKey(r)] {
+			if !skip[r.Key()] {
 				pick = i
 				break
 			}
@@ -274,7 +274,7 @@ func (e *Engine) OptimizeCtx(ctx context.Context) (*tam.Architecture, int64, Sta
 		if obj2 < obj {
 			a, obj = a2, obj2
 		} else {
-			skip[railKey(a.Rails[pick])] = true
+			skip[a.Rails[pick].Key()] = true
 		}
 	}
 	end(obj)
@@ -320,7 +320,7 @@ func (e *Engine) startSolution(ctx context.Context) (*tam.Architecture, int64, e
 			// stay width 1.
 			victim := e.Wmax
 			res, err := e.Par.mapCandidates(ctx, a, e.Wmax, func(cand *tam.Architecture, i int) (int64, int64, error) {
-				mergeInto(cand, i, victim, 1)
+				cand.MergeRails(i, victim, 1)
 				o, err := e.eval(cand)
 				return o, 0, err
 			})
@@ -337,7 +337,7 @@ func (e *Engine) startSolution(ctx context.Context) (*tam.Architecture, int64, e
 					best, bestObj = i, r.obj
 				}
 			}
-			mergeInto(a, best, victim, 1)
+			a.MergeRails(best, victim, 1)
 			if obj, err = e.eval(a); err != nil {
 				return nil, 0, err
 			}
@@ -352,16 +352,6 @@ func (e *Engine) startSolution(ctx context.Context) (*tam.Architecture, int64, e
 		}
 	}
 	return a, obj, nil
-}
-
-// mergeInto merges rail src into rail dst with the given width and
-// removes src. Rails' cached times go stale; callers re-evaluate.
-func mergeInto(a *tam.Architecture, dst, src int, width int) {
-	d, s := a.Rails[dst], a.Rails[src]
-	d.Cores = append(d.Cores, s.Cores...)
-	sort.Ints(d.Cores)
-	d.Width = width
-	a.Rails = append(a.Rails[:src], a.Rails[src+1:]...)
 }
 
 // distributeFreeWires implements the paper's distributeFreeWires: each
@@ -392,7 +382,7 @@ func (e *Engine) distributeFreeWires(ctx context.Context, a *tam.Architecture, f
 		}
 		res, err := pe.mapCandidates(ctx, a, len(widen), func(cand *tam.Architecture, i int) (int64, int64, error) {
 			r := cand.Rails[widen[i]]
-			r.Width++
+			cand.SetWidth(widen[i], r.Width+1)
 			o, err := e.eval(cand)
 			if err != nil {
 				return 0, 0, err
@@ -414,7 +404,7 @@ func (e *Engine) distributeFreeWires(ctx context.Context, a *tam.Architecture, f
 				best, bestObj, bestUsed = i, r.obj, r.aux
 			}
 		}
-		a.Rails[widen[best]].Width++
+		a.SetWidth(widen[best], a.Rails[widen[best]].Width+1)
 	}
 	return e.eval(a)
 }
@@ -453,14 +443,11 @@ func (e *Engine) mergeTAMs(ctx context.Context, a *tam.Architecture, curObj int6
 		wi := cand.Rails[sp.ri].Width
 		dst, src := sp.ri, r1
 		if dst > src {
-			// mergeInto removes src; keep indices valid by always
+			// MergeRails removes src; keep indices valid by always
 			// merging the higher index into the lower.
 			dst, src = src, dst
 		}
-		cand.Rails[dst].Cores = append(cand.Rails[dst].Cores, cand.Rails[src].Cores...)
-		sort.Ints(cand.Rails[dst].Cores)
-		cand.Rails[dst].Width = sp.w
-		cand.Rails = append(cand.Rails[:src], cand.Rails[src+1:]...)
+		cand.MergeRails(dst, src, sp.w)
 		if leftover := w1 + wi - sp.w; leftover > 0 {
 			if _, err := e.distributeFreeWires(ctx, cand, leftover, nil, nil); err != nil {
 				return 0, 0, err
@@ -525,8 +512,7 @@ func (e *Engine) coreReshuffle(ctx context.Context, a *tam.Architecture, curObj 
 		}
 		build := func(cand *tam.Architecture, i int) (int64, int64, error) {
 			mv := specs[i]
-			removeCore(cand.Rails[mv.from], mv.coreID)
-			insertCore(cand.Rails[mv.to], mv.coreID)
+			cand.MoveCore(mv.from, mv.to, mv.coreID)
 			o, err := e.eval(cand)
 			return o, 0, err
 		}
@@ -585,39 +571,16 @@ func bottleneckRails(a *tam.Architecture) []int {
 	return out
 }
 
-func removeCore(r *tam.Rail, id int) {
-	for i, c := range r.Cores {
-		if c == id {
-			r.Cores = append(r.Cores[:i], r.Cores[i+1:]...)
-			return
-		}
-	}
-	panic(fmt.Sprintf("core: rail does not host core %d", id))
-}
-
-func insertCore(r *tam.Rail, id int) {
-	r.Cores = append(r.Cores, id)
-	sort.Ints(r.Cores)
-}
-
 // sortByTimeUsed sorts rails by non-increasing utilized time, the order
 // the paper's loops operate on. Ties break by core-ID signature for
-// determinism.
+// determinism (Rail.Key caches the signature, so the comparisons do not
+// allocate).
 func sortByTimeUsed(a *tam.Architecture) {
 	sort.SliceStable(a.Rails, func(i, j int) bool {
 		ti, tj := a.Rails[i].TimeUsed(), a.Rails[j].TimeUsed()
 		if ti != tj {
 			return ti > tj
 		}
-		return railKey(a.Rails[i]) < railKey(a.Rails[j])
+		return a.Rails[i].Key() < a.Rails[j].Key()
 	})
-}
-
-// railKey returns a stable identity for a rail based on its core set.
-func railKey(r *tam.Rail) string {
-	parts := make([]string, len(r.Cores))
-	for i, id := range r.Cores {
-		parts[i] = fmt.Sprint(id)
-	}
-	return strings.Join(parts, ",")
 }

@@ -33,8 +33,8 @@ type InTestEvaluator struct{}
 
 // Evaluate implements Evaluator.
 func (InTestEvaluator) Evaluate(a *tam.Architecture) (int64, error) {
+	a.Refresh() // recomputes TimeIn for dirty rails only
 	for _, r := range a.Rails {
-		a.RefreshTimeIn(r)
 		r.TimeSI = 0
 	}
 	return a.InTestTime(), nil
@@ -42,7 +42,9 @@ func (InTestEvaluator) Evaluate(a *tam.Architecture) (int64, error) {
 
 // SIEvaluator scores architectures by the combined objective
 // T_soc = T_soc_in + T_soc_si, scheduling the SI test groups with
-// Algorithm 1 on every evaluation.
+// Algorithm 1 from scratch on every evaluation. It is the reference
+// implementation the incremental evaluator (IncrementalSIEvaluator) is
+// pinned against; production entry points use the incremental one.
 type SIEvaluator struct {
 	Groups []*sischedule.Group
 	Model  sischedule.Model

@@ -211,18 +211,16 @@ func (e *Engine) kick(a *tam.Architecture, rng *rand.Rand) {
 			continue
 		}
 		id := a.Rails[from].Cores[rng.Intn(len(a.Rails[from].Cores))]
-		removeCore(a.Rails[from], id)
 		if len(a.Rails) > 1 && (rng.Intn(3) > 0 || a.Rails[from].Width < 2) {
 			// Move to another existing rail.
 			to := rng.Intn(len(a.Rails) - 1)
 			if to >= from {
 				to++
 			}
-			insertCore(a.Rails[to], id)
+			a.MoveCore(from, to, id)
 		} else {
 			// Carve a new single-wire rail out of the source rail.
-			a.Rails[from].Width--
-			a.Rails = append(a.Rails, &tam.Rail{Cores: []int{id}, Width: 1})
+			a.CarveCore(from, id)
 		}
 	}
 	// Shift one wire between two random rails.
@@ -233,8 +231,8 @@ func (e *Engine) kick(a *tam.Architecture, rng *rand.Rand) {
 			to++
 		}
 		if a.Rails[from].Width > 1 {
-			a.Rails[from].Width--
-			a.Rails[to].Width++
+			a.SetWidth(from, a.Rails[from].Width-1)
+			a.SetWidth(to, a.Rails[to].Width+1)
 		}
 	}
 }

@@ -249,10 +249,16 @@ func NewParallelEngine(s *soc.SOC, wmax int, eval Evaluator, cfg ParallelConfig)
 	eng.MaxEvals = cfg.MaxEvals
 	if cfg.Trace != nil {
 		eng.Trace = cfg.Trace
-		if cache != nil && par.workers() == 1 {
-			// Per-lookup cache events are deterministic only when one
-			// goroutine evaluates; see the obs package comment.
-			cache.sink = cfg.Trace
+		if par.workers() == 1 {
+			// Per-lookup cache and eval_incremental events are
+			// deterministic only when one goroutine evaluates; see the
+			// obs package comment.
+			if cache != nil {
+				cache.sink = cfg.Trace
+			}
+			if inc, ok := innerEvaluator(eng.Eval).(*IncrementalSIEvaluator); ok {
+				inc.sink = cfg.Trace
+			}
 		}
 	}
 	if cfg.Metrics != nil {
@@ -272,7 +278,7 @@ func NewParallelEngine(s *soc.SOC, wmax int, eval Evaluator, cfg ParallelConfig)
 // additionally carries the cache statistics and metrics snapshot of
 // the run.
 func TAMOptimizationWith(ctx context.Context, s *soc.SOC, wmax int, groups []*sischedule.Group, m sischedule.Model, cfg ParallelConfig) (*Result, error) {
-	eng, cache, err := NewParallelEngine(s, wmax, &SIEvaluator{Groups: groups, Model: m}, cfg)
+	eng, cache, err := NewParallelEngine(s, wmax, NewIncrementalSIEvaluator(groups, m), cfg)
 	if err != nil {
 		return nil, err
 	}

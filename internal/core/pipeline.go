@@ -273,7 +273,7 @@ func TAMOptimization(s *soc.SOC, wmax int, groups []*sischedule.Group, m sisched
 // nil error. Only when no valid architecture was produced at all does
 // the context's error come back.
 func TAMOptimizationCtx(ctx context.Context, s *soc.SOC, wmax int, groups []*sischedule.Group, m sischedule.Model) (*Result, error) {
-	eng, err := NewEngine(s, wmax, &SIEvaluator{Groups: groups, Model: m})
+	eng, err := NewEngine(s, wmax, NewIncrementalSIEvaluator(groups, m))
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +307,8 @@ func (e *Engine) Finish(arch *tam.Architecture, st Status, groups []*sischedule.
 
 // snapshotMetrics copies the registry (when attached) into plain data
 // and adds the counters every run has regardless of a registry: total
-// evaluations and the cache totals.
+// evaluations, the cache totals, and the incremental evaluator's
+// recompute accounting.
 func (e *Engine) snapshotMetrics(cache *CachedEvaluator) *obs.Snapshot {
 	snap := e.Metrics.Snapshot() // nil-safe: empty snapshot without a registry
 	snap.Counters["evals"] = e.evalCount()
@@ -318,7 +319,24 @@ func (e *Engine) snapshotMetrics(cache *CachedEvaluator) *obs.Snapshot {
 		snap.Counters["cache_evictions"] = st.Evictions
 		snap.Gauges["cache_entries"] = int64(st.Entries)
 	}
+	if inc, ok := innerEvaluator(e.Eval).(*IncrementalSIEvaluator); ok {
+		st := inc.Stats()
+		snap.Counters["eval_dirty_rails"] = st.DirtyRails
+		snap.Counters["eval_rails_recomputed"] = st.RailsRecomputed
+		snap.Counters["eval_rails_memoized"] = st.RailsMemoized
+		snap.Counters["eval_groups_recomputed"] = st.GroupsRecomputed
+		snap.Counters["eval_groups_memoized"] = st.GroupsMemoized
+	}
 	return snap
+}
+
+// innerEvaluator unwraps the memoization layer, exposing the evaluator
+// the engine ultimately scores with.
+func innerEvaluator(eval Evaluator) Evaluator {
+	if c, ok := eval.(*CachedEvaluator); ok {
+		return c.Inner
+	}
+	return eval
 }
 
 // Result is the outcome of a TAM optimization run: the designed

@@ -37,13 +37,20 @@ func traceRun(t *testing.T, s *soc.SOC, groups []*sischedule.Group, m sischedule
 	return res, events
 }
 
+// singleWorkerOnly reports whether ev is emitted only by single-worker
+// runs (cache lookups and incremental evaluation accounting, whose
+// split is timing-dependent under concurrency).
+func singleWorkerOnly(ev *obs.Event) bool {
+	return ev.Type == obs.CacheHit || ev.Type == obs.CacheMiss || ev.Type == obs.EvalIncremental
+}
+
 // canon strips the nondeterministic fields (sequence number, wall-clock
-// duration) and optionally the single-worker-only cache events, so
-// traces can be compared across runs and worker counts.
-func canon(events []obs.Event, dropCache bool) []obs.Event {
+// duration) and optionally the single-worker-only events, so traces can
+// be compared across runs and worker counts.
+func canon(events []obs.Event, dropSingle bool) []obs.Event {
 	out := make([]obs.Event, 0, len(events))
 	for _, ev := range events {
-		if dropCache && (ev.Type == obs.CacheHit || ev.Type == obs.CacheMiss) {
+		if dropSingle && singleWorkerOnly(&ev) {
 			continue
 		}
 		ev.Seq = 0
@@ -81,22 +88,28 @@ func TestTraceDeterministicAcrossWorkers(t *testing.T) {
 					t.Fatalf("repeated workers=1 traces diverge at event %d: %+v != %+v", i, b[i], a[i])
 				}
 			}
-			var cacheEvents int
+			var cacheEvents, incEvents int
 			for _, ev := range base {
-				if ev.Type == obs.CacheHit || ev.Type == obs.CacheMiss {
+				switch ev.Type {
+				case obs.CacheHit, obs.CacheMiss:
 					cacheEvents++
+				case obs.EvalIncremental:
+					incEvents++
 				}
 			}
 			if cacheEvents == 0 {
 				t.Error("workers=1 trace carries no cache events")
+			}
+			if incEvents == 0 {
+				t.Error("workers=1 trace carries no eval_incremental events")
 			}
 
 			want := multiset(canon(base, true))
 			for _, workers := range []int{2, 8} {
 				_, events := traceRun(t, s, groups, m, workers)
 				for _, ev := range events {
-					if ev.Type == obs.CacheHit || ev.Type == obs.CacheMiss {
-						t.Fatalf("workers=%d trace carries cache event %+v (single-worker only)", workers, ev)
+					if singleWorkerOnly(&ev) {
+						t.Fatalf("workers=%d trace carries single-worker-only event %+v", workers, ev)
 					}
 				}
 				got := multiset(canon(events, true))

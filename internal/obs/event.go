@@ -72,6 +72,13 @@ const (
 	CacheHit  Type = "cache_hit"
 	CacheMiss Type = "cache_miss"
 
+	// EvalIncremental reports one incremental objective evaluation: N
+	// carries the dirty-rail count, Recomputed/Memoized the SI groups
+	// whose time was recomputed versus served from the composition
+	// memo. Emitted only by single-worker runs, like the cache events
+	// (the memo hit/miss split is timing-dependent under concurrency).
+	EvalIncremental Type = "eval_incremental"
+
 	// DeadlineHit reports an anytime interruption: the phase that was
 	// cut short and the cause ("deadline", "interrupted" or "budget").
 	DeadlineHit Type = "deadline_hit"
@@ -85,7 +92,8 @@ var knownTypes = map[Type]bool{
 	ILSKick:          true,
 	SIGroupScheduled: true,
 	CacheHit:         true, CacheMiss: true,
-	DeadlineHit: true,
+	EvalIncremental: true,
+	DeadlineHit:     true,
 }
 
 // Event is one search-trace record. The struct is flat — every event
@@ -142,6 +150,11 @@ type Event struct {
 	Begin int64 `json:"begin,omitempty"`
 	End   int64 `json:"end,omitempty"`
 
+	// Recomputed and Memoized split an incremental evaluation's SI
+	// groups into recomputed versus memo-served (EvalIncremental).
+	Recomputed int `json:"recomputed,omitempty"`
+	Memoized   int `json:"memoized,omitempty"`
+
 	// Cause is the interruption cause of a DeadlineHit: "deadline",
 	// "interrupted" or "budget".
 	Cause string `json:"cause,omitempty"`
@@ -182,6 +195,10 @@ func (e *Event) Validate() error {
 		}
 		if e.Rails < 1 {
 			return fmt.Errorf("obs: si_group_scheduled %q involves %d rails", e.Group, e.Rails)
+		}
+	case EvalIncremental:
+		if e.N < 0 || e.Recomputed < 0 || e.Memoized < 0 {
+			return fmt.Errorf("obs: eval_incremental event with negative counts (n=%d recomputed=%d memoized=%d)", e.N, e.Recomputed, e.Memoized)
 		}
 	case DeadlineHit:
 		switch e.Cause {

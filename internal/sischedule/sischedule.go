@@ -86,28 +86,57 @@ type GroupTime struct {
 
 // CalculateSITestTime computes, for every group, its testing time under
 // the given architecture (the paper's CalculateSITestTime procedure).
+//
+// The implementation is allocation-lean: core WOCs and group membership
+// live in dense ID-indexed slices (core IDs are small in every
+// benchmark SOC) with membership epoch-stamped per group instead of one
+// map per group, and all groups' Rails/PerRail slices are carved out of
+// two shared arenas. This function sits under the from-scratch
+// evaluator and the optimizer's cost loops, so steady-state garbage is
+// measurable end to end (see Benchmark_ScheduleSITest).
 func CalculateSITestTime(a *tam.Architecture, groups []*Group, m Model) ([]GroupTime, error) {
 	out := make([]GroupTime, len(groups))
-	// Per-rail core membership lookup.
-	coreWOC := make(map[int]int, a.SOC.NumCores())
+	maxID := -1
 	for _, c := range a.SOC.Cores() {
-		coreWOC[c.ID] = c.WOC()
+		if c.ID > maxID {
+			maxID = c.ID
+		}
 	}
+	// wocByID[id] is the core's WOC, or -1 for IDs that name no core.
+	wocByID := make([]int64, maxID+1)
+	for i := range wocByID {
+		wocByID[i] = -1
+	}
+	for _, c := range a.SOC.Cores() {
+		wocByID[c.ID] = int64(c.WOC())
+	}
+	// inGroup[id] == epoch marks membership in the current group; a new
+	// epoch invalidates all marks at once, so the slice is written only
+	// for the group's own cores.
+	inGroup := make([]uint32, maxID+1)
+	var epoch uint32
+	// Shared arenas for every group's Rails/PerRail. Slice headers are
+	// fixed up after the fill, when the backing arrays stop moving.
+	railsArena := make([]int, 0, 4*len(groups))
+	perArena := make([]int64, 0, 4*len(groups))
+	offs := make([]int, len(groups)+1)
 	for gi, g := range groups {
-		inGroup := make(map[int]bool, len(g.Cores))
+		epoch++
 		for _, id := range g.Cores {
-			if _, ok := coreWOC[id]; !ok {
+			if id < 0 || id >= len(wocByID) || wocByID[id] < 0 {
 				return nil, fmt.Errorf("sischedule: group %q involves unknown core %d", g.Name, id)
 			}
-			inGroup[id] = true
+			inGroup[id] = epoch
 		}
 		gt := GroupTime{Bottleneck: -1}
-		for ri, r := range a.Rails {
+		offs[gi] = len(railsArena)
+		for ri := range a.Rails {
+			r := a.Rails[ri]
 			var shift int64
 			nCare := 0
 			for _, id := range r.Cores {
-				if inGroup[id] {
-					shift += ceilDiv(int64(coreWOC[id]), int64(r.Width))
+				if inGroup[id] == epoch {
+					shift += ceilDiv(wocByID[id], int64(r.Width))
 					nCare++
 				}
 			}
@@ -116,14 +145,22 @@ func CalculateSITestTime(a *tam.Architecture, groups []*Group, m Model) ([]Group
 			}
 			perPattern := shift + m.Bypass*int64(len(r.Cores)-nCare) + m.Overhead
 			t := g.Patterns * perPattern
-			gt.Rails = append(gt.Rails, ri)
-			gt.PerRail = append(gt.PerRail, t)
+			railsArena = append(railsArena, ri)
+			perArena = append(perArena, t)
 			if t > gt.Time || gt.Bottleneck < 0 {
 				gt.Time = t
 				gt.Bottleneck = ri
 			}
 		}
 		out[gi] = gt
+	}
+	offs[len(groups)] = len(railsArena)
+	for gi := range out {
+		if offs[gi] == offs[gi+1] {
+			continue // no involved rails: keep Rails/PerRail nil
+		}
+		out[gi].Rails = railsArena[offs[gi]:offs[gi+1]:offs[gi+1]]
+		out[gi].PerRail = perArena[offs[gi]:offs[gi+1]:offs[gi+1]]
 	}
 	return out, nil
 }
@@ -192,7 +229,10 @@ func scheduleSITest(a *tam.Architecture, groups []*Group, m Model) (*Schedule, e
 	if err != nil {
 		return nil, err
 	}
-	sched := &Schedule{RailSI: make([]int64, len(a.Rails))}
+	sched := &Schedule{
+		Slots:  make([]Slot, 0, len(groups)),
+		RailSI: make([]int64, len(a.Rails)),
+	}
 
 	type pending struct {
 		g  *Group
@@ -217,7 +257,7 @@ func scheduleSITest(a *tam.Architecture, groups []*Group, m Model) (*Schedule, e
 		end   int64
 		rails []int
 	}
-	var active []running
+	active := make([]running, 0, len(a.Rails))
 	var currTime int64
 
 	for len(unsched) > 0 {

@@ -1,0 +1,186 @@
+package tam
+
+import (
+	"testing"
+
+	"sitam/internal/soc"
+	"sitam/internal/wrapper"
+)
+
+// Tests for the dirty-rail tracking and the incrementally maintained
+// order-independent composition hash.
+
+func dirtySOC(t *testing.T) (*soc.SOC, *wrapper.TimeTable) {
+	t.Helper()
+	s := soc.MustLoadBenchmark("d695")
+	tt, err := wrapper.NewTimeTable(s, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tt
+}
+
+func TestMutationsMarkDirtyAndRefreshClears(t *testing.T) {
+	s, tt := dirtySOC(t)
+	a := New(s, tt)
+	ids := make([]int, 0, s.NumCores())
+	for _, c := range s.Cores() {
+		ids = append(ids, c.ID)
+	}
+	a.AddRail(ids[:3], 4)
+	a.AddRail(ids[3:6], 2)
+	a.AddRail(ids[6:], 8)
+	if got := a.DirtyCount(); got != 0 {
+		t.Fatalf("after AddRail: %d dirty rails, want 0", got)
+	}
+
+	a.SetWidth(0, 6)
+	if got := a.DirtyCount(); got != 1 {
+		t.Errorf("after SetWidth: %d dirty rails, want 1", got)
+	}
+	a.SetWidth(0, 6) // no-op: same width
+	if got := a.DirtyCount(); got != 1 {
+		t.Errorf("after no-op SetWidth: %d dirty rails, want 1", got)
+	}
+	a.MoveCore(1, 2, a.Rails[1].Cores[0])
+	if got := a.DirtyCount(); got != 3 {
+		t.Errorf("after MoveCore: %d dirty rails, want 3", got)
+	}
+	a.Refresh()
+	if got := a.DirtyCount(); got != 0 {
+		t.Errorf("after Refresh: %d dirty rails, want 0", got)
+	}
+
+	a.CarveCore(2, a.Rails[2].Cores[0])
+	// CarveCore dirties the source rail and appends the carved core's
+	// new rail stale (its TimeIn is computed lazily by Refresh), so two
+	// rails are dirty.
+	if got := a.DirtyCount(); got != 2 {
+		t.Errorf("after CarveCore: %d dirty rails, want 2", got)
+	}
+	a.Refresh()
+
+	n := len(a.Rails)
+	a.MergeRails(0, 1, 8)
+	if len(a.Rails) != n-1 {
+		t.Fatalf("MergeRails: %d rails, want %d", len(a.Rails), n-1)
+	}
+	if got := a.DirtyCount(); got != 1 {
+		t.Errorf("after MergeRails: %d dirty rails, want 1", got)
+	}
+
+	a.Refresh()
+	a.MarkDirty(0)
+	if got := a.DirtyCount(); got != 1 {
+		t.Errorf("after MarkDirty: %d dirty rails, want 1", got)
+	}
+}
+
+func TestRefreshRecomputesOnlyDirtyRails(t *testing.T) {
+	s, tt := dirtySOC(t)
+	a := New(s, tt)
+	var ids []int
+	for _, c := range s.Cores() {
+		ids = append(ids, c.ID)
+	}
+	a.AddRail(ids[:4], 4)
+	a.AddRail(ids[4:], 4)
+	a.Refresh()
+	// Corrupt a clean rail's TimeIn out-of-API: Refresh must NOT fix
+	// it, because the rail is not marked dirty.
+	a.Rails[0].TimeIn = 12345
+	a.SetWidth(1, 8)
+	a.Refresh()
+	if a.Rails[0].TimeIn != 12345 {
+		t.Error("Refresh recomputed a clean rail")
+	}
+	// After MarkDirty the corruption is repaired.
+	a.MarkDirty(0)
+	a.Refresh()
+	if a.Rails[0].TimeIn == 12345 {
+		t.Error("Refresh skipped a dirty rail")
+	}
+}
+
+func TestHashOrderIndependent(t *testing.T) {
+	s, tt := dirtySOC(t)
+	var ids []int
+	for _, c := range s.Cores() {
+		ids = append(ids, c.ID)
+	}
+	a := New(s, tt)
+	a.AddRail(ids[:3], 4)
+	a.AddRail(ids[3:6], 2)
+	a.AddRail(ids[6:], 8)
+
+	b := New(s, tt)
+	b.AddRail(ids[6:], 8)
+	b.AddRail(ids[:3], 4)
+	b.AddRail(ids[3:6], 2)
+
+	if a.Hash() != b.Hash() {
+		t.Errorf("same rail multiset, different hash: %#x vs %#x", a.Hash(), b.Hash())
+	}
+
+	c := New(s, tt)
+	c.AddRail(ids[:3], 5) // one width differs
+	c.AddRail(ids[3:6], 2)
+	c.AddRail(ids[6:], 8)
+	if a.Hash() == c.Hash() {
+		t.Error("different composition, same hash")
+	}
+}
+
+func TestHashMaintainedIncrementally(t *testing.T) {
+	s, tt := dirtySOC(t)
+	var ids []int
+	for _, c := range s.Cores() {
+		ids = append(ids, c.ID)
+	}
+	a := New(s, tt)
+	a.AddRail(ids[:5], 4)
+	a.AddRail(ids[5:], 4)
+
+	// Mutate through the API, then rebuild the same composition from
+	// nothing: the incrementally maintained hash must agree.
+	a.SetWidth(0, 7)
+	a.MoveCore(0, 1, a.Rails[0].Cores[2])
+	a.CarveCore(1, a.Rails[1].Cores[0])
+	a.MergeRails(0, 2, 8)
+
+	fresh := New(s, tt)
+	for _, r := range a.Rails {
+		fresh.AddRail(r.Cores, r.Width)
+	}
+	if a.Hash() != fresh.Hash() {
+		t.Errorf("maintained hash %#x != rebuilt hash %#x", a.Hash(), fresh.Hash())
+	}
+
+	// Clone must carry the hash state.
+	if cl := a.Clone(); cl.Hash() != a.Hash() {
+		t.Errorf("clone hash %#x != source hash %#x", cl.Hash(), a.Hash())
+	}
+	// CopyFrom must too, whatever the destination held before.
+	dst := New(s, tt)
+	dst.AddRail(ids[:2], 3)
+	dst.CopyFrom(a)
+	if dst.Hash() != a.Hash() {
+		t.Errorf("CopyFrom hash %#x != source hash %#x", dst.Hash(), a.Hash())
+	}
+}
+
+func TestRailKeyInvalidatedByMutation(t *testing.T) {
+	s, tt := dirtySOC(t)
+	var ids []int
+	for _, c := range s.Cores() {
+		ids = append(ids, c.ID)
+	}
+	a := New(s, tt)
+	a.AddRail(ids[:4], 4)
+	a.AddRail(ids[4:], 4)
+	k0 := a.Rails[0].Key()
+	a.MoveCore(0, 1, a.Rails[0].Cores[0])
+	if a.Rails[0].Key() == k0 {
+		t.Error("rail key unchanged after core composition changed")
+	}
+}

@@ -15,11 +15,26 @@
 // structure: TimeIn (internal testing time), TimeSI (utilized SI testing
 // time) and TimeUsed (their sum), which the optimization algorithms use
 // to rank rails.
+//
+// # Dirty-rail tracking
+//
+// The optimizer's hot loops mutate only one or two rails per candidate,
+// so the architecture tracks which rails are stale. Mutations must go
+// through the mutation API (SetWidth, MoveCore, CarveCore, MergeRails,
+// MarkDirty, or AddRail/CopyFrom/Clone), which marks the touched rails
+// dirty; Refresh then recomputes TimeIn only for dirty rails. Each clean
+// rail carries a 64-bit FNV-1a sub-hash of its (width, cores)
+// composition, and the architecture maintains the XOR of the clean
+// rails' sub-hashes incrementally, giving evaluators an O(dirty)
+// order-independent identity key (Hash) without string building. A
+// zero-value Rail is dirty, so rails constructed directly by callers are
+// refreshed on the next Refresh.
 package tam
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"sitam/internal/soc"
@@ -43,6 +58,16 @@ type Rail struct {
 	// by the most recent SI schedule (sum over SI groups of the rail's
 	// busy time in that group).
 	TimeSI int64
+
+	// clean reports that TimeIn and hash match (Cores, Width). The zero
+	// value is dirty, so externally constructed rails are safe.
+	clean bool
+
+	// hash is the FNV-1a sub-hash of (Width, Cores), valid when clean.
+	hash uint64
+
+	// key caches the comma-joined core-ID signature ("" = not built).
+	key string
 }
 
 // TimeUsed returns the rail's total utilized testing time, the ranking
@@ -53,6 +78,30 @@ func (r *Rail) TimeUsed() int64 { return r.TimeIn + r.TimeSI }
 func (r *Rail) Has(coreID int) bool {
 	i := sort.SearchInts(r.Cores, coreID)
 	return i < len(r.Cores) && r.Cores[i] == coreID
+}
+
+// Hash returns the rail's composition sub-hash. It is valid only when
+// the rail is clean (after Architecture.Refresh); callers that mutate
+// rails must refresh before reading hashes.
+func (r *Rail) Hash() uint64 { return r.hash }
+
+// Key returns the rail's core-ID signature ("3,7,12"), the stable
+// identity the optimization loops use for deterministic tie-breaks. The
+// string is cached on the rail and rebuilt only when the core set
+// changes, so repeated comparisons do not allocate.
+func (r *Rail) Key() string {
+	if r.key == "" && len(r.Cores) > 0 {
+		var b strings.Builder
+		b.Grow(4 * len(r.Cores))
+		for i, id := range r.Cores {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(id))
+		}
+		r.key = b.String()
+	}
+	return r.key
 }
 
 // Clone returns a deep copy of the rail.
@@ -71,6 +120,21 @@ func (r *Rail) String() string {
 	return fmt.Sprintf("rail(w=%d cores=[%s] tIn=%d tSI=%d)", r.Width, strings.Join(ids, " "), r.TimeIn, r.TimeSI)
 }
 
+// FNV-1a 64-bit over machine words (width then core IDs).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func subHash(r *Rail) uint64 {
+	h := uint64(fnvOffset64)
+	h = (h ^ uint64(r.Width)) * fnvPrime64
+	for _, id := range r.Cores {
+		h = (h ^ uint64(id)) * fnvPrime64
+	}
+	return h
+}
+
 // Architecture is a complete TestRail architecture for an SOC: a set of
 // rails partitioning the SOC's cores.
 type Architecture struct {
@@ -80,6 +144,16 @@ type Architecture struct {
 	// Times caches per-core InTest times by width; all rails of one
 	// architecture share it.
 	Times *wrapper.TimeTable
+
+	// hash is the XOR of the clean rails' sub-hashes. Maintained
+	// incrementally: dirtying a rail XORs its stale sub-hash out,
+	// refreshing XORs the new one in. Rail order does not matter.
+	hash uint64
+
+	// inTest caches InTestTime; valid only when inTestOK, which any
+	// mutation clears.
+	inTest   int64
+	inTestOK bool
 }
 
 // New builds an architecture over s with no rails yet. The time table
@@ -88,23 +162,147 @@ func New(s *soc.SOC, times *wrapper.TimeTable) *Architecture {
 	return &Architecture{SOC: s, Times: times}
 }
 
-// AddRail appends a rail hosting the given cores at the given width and
-// refreshes its InTest time. The core ID slice is copied and sorted.
-func (a *Architecture) AddRail(coreIDs []int, width int) *Rail {
-	r := &Rail{Cores: append([]int(nil), coreIDs...), Width: width}
-	sort.Ints(r.Cores)
-	a.RefreshTimeIn(r)
-	a.Rails = append(a.Rails, r)
-	return r
+// dirtyRail marks r stale, removing its sub-hash from the maintained
+// architecture hash.
+func (a *Architecture) dirtyRail(r *Rail) {
+	if r.clean {
+		a.hash ^= r.hash
+		r.clean = false
+	}
+	a.inTestOK = false
 }
 
-// RefreshTimeIn recomputes r.TimeIn from the architecture's time table.
-func (a *Architecture) RefreshTimeIn(r *Rail) {
+// refreshRail recomputes r's TimeIn and sub-hash and folds it back into
+// the architecture hash.
+func (a *Architecture) refreshRail(r *Rail) {
+	if r.clean {
+		a.hash ^= r.hash
+	}
 	var sum int64
 	for _, id := range r.Cores {
 		sum += a.Times.Time(id, r.Width)
 	}
 	r.TimeIn = sum
+	r.hash = subHash(r)
+	r.clean = true
+	a.hash ^= r.hash
+	a.inTestOK = false
+}
+
+// AddRail appends a rail hosting the given cores at the given width and
+// refreshes its InTest time. The core ID slice is copied and sorted.
+func (a *Architecture) AddRail(coreIDs []int, width int) *Rail {
+	r := &Rail{Cores: append([]int(nil), coreIDs...), Width: width}
+	sort.Ints(r.Cores)
+	a.refreshRail(r)
+	a.Rails = append(a.Rails, r)
+	return r
+}
+
+// RefreshTimeIn recomputes r.TimeIn (and the rail's sub-hash) from the
+// architecture's time table, regardless of the rail's dirty state. The
+// rail must belong to a.
+func (a *Architecture) RefreshTimeIn(r *Rail) {
+	a.refreshRail(r)
+}
+
+// MarkDirty marks rail i stale after an out-of-API mutation, forcing the
+// next Refresh to recompute its TimeIn and sub-hash.
+func (a *Architecture) MarkDirty(i int) { a.dirtyRail(a.Rails[i]) }
+
+// DirtyCount returns the number of rails currently marked stale.
+func (a *Architecture) DirtyCount() int {
+	n := 0
+	for _, r := range a.Rails {
+		if !r.clean {
+			n++
+		}
+	}
+	return n
+}
+
+// SetWidth sets rail i's width, marking it dirty on change.
+func (a *Architecture) SetWidth(i, width int) {
+	r := a.Rails[i]
+	if r.Width == width {
+		return
+	}
+	a.dirtyRail(r)
+	r.Width = width
+}
+
+// MoveCore moves core id from rail from to rail to, keeping both rails'
+// core lists sorted. It panics if the source rail does not host the
+// core.
+func (a *Architecture) MoveCore(from, to, id int) {
+	a.takeCore(from, id)
+	r := a.Rails[to]
+	a.dirtyRail(r)
+	r.Cores = append(r.Cores, id)
+	sort.Ints(r.Cores)
+	r.key = ""
+}
+
+// CarveCore removes core id from rail from, shrinks that rail's width by
+// one wire, and appends a fresh single-core rail of width 1 hosting the
+// core. It panics if the source rail does not host the core.
+func (a *Architecture) CarveCore(from, id int) *Rail {
+	a.takeCore(from, id)
+	a.Rails[from].Width--
+	nr := &Rail{Cores: []int{id}, Width: 1}
+	a.Rails = append(a.Rails, nr)
+	return nr
+}
+
+func (a *Architecture) takeCore(from, id int) {
+	r := a.Rails[from]
+	for i, c := range r.Cores {
+		if c == id {
+			a.dirtyRail(r)
+			r.Cores = append(r.Cores[:i], r.Cores[i+1:]...)
+			r.key = ""
+			return
+		}
+	}
+	panic(fmt.Sprintf("tam: rail does not host core %d", id))
+}
+
+// MergeRails merges rail src into rail dst at the given width and
+// removes src from the architecture. dst keeps its identity (marked
+// dirty); indices above src shift down by one.
+func (a *Architecture) MergeRails(dst, src, width int) {
+	d, s := a.Rails[dst], a.Rails[src]
+	a.dirtyRail(d)
+	a.dirtyRail(s) // removes s's sub-hash from the architecture hash
+	d.Cores = append(d.Cores, s.Cores...)
+	sort.Ints(d.Cores)
+	d.Width = width
+	d.key = ""
+	a.Rails = append(a.Rails[:src], a.Rails[src+1:]...)
+}
+
+// Refresh brings every dirty rail's TimeIn, the architecture hash and
+// the cached InTestTime up to date. Clean rails are not recomputed.
+func (a *Architecture) Refresh() {
+	var mx int64
+	for _, r := range a.Rails {
+		if !r.clean {
+			a.refreshRail(r)
+		}
+		if r.TimeIn > mx {
+			mx = r.TimeIn
+		}
+	}
+	a.inTest, a.inTestOK = mx, true
+}
+
+// Hash refreshes the architecture and returns its order-independent
+// composition hash: the XOR of the rails' FNV-1a (width, cores)
+// sub-hashes. Two architectures carrying the same multiset of
+// (width, cores) rails hash equal regardless of rail order.
+func (a *Architecture) Hash() uint64 {
+	a.Refresh()
+	return a.hash
 }
 
 // TotalWidth returns the sum of all rail widths.
@@ -118,13 +316,24 @@ func (a *Architecture) TotalWidth() int {
 
 // InTestTime returns the SOC internal test time: the maximum rail InTest
 // time (rails test their cores concurrently with one another, serially
-// within the rail).
+// within the rail). Like before dirty tracking, it reads the rails'
+// stored TimeIn values; call Refresh first if rails were mutated.
 func (a *Architecture) InTestTime() int64 {
+	if a.inTestOK {
+		return a.inTest
+	}
 	var mx int64
+	all := true
 	for _, r := range a.Rails {
+		if !r.clean {
+			all = false
+		}
 		if r.TimeIn > mx {
 			mx = r.TimeIn
 		}
+	}
+	if all {
+		a.inTest, a.inTestOK = mx, true
 	}
 	return mx
 }
@@ -142,7 +351,10 @@ func (a *Architecture) RailOf(coreID int) int {
 // Clone returns a deep copy of the architecture (sharing the immutable
 // SOC and time table).
 func (a *Architecture) Clone() *Architecture {
-	c := &Architecture{SOC: a.SOC, Times: a.Times, Rails: make([]*Rail, len(a.Rails))}
+	c := &Architecture{
+		SOC: a.SOC, Times: a.Times, Rails: make([]*Rail, len(a.Rails)),
+		hash: a.hash, inTest: a.inTest, inTestOK: a.inTestOK,
+	}
 	for i, r := range a.Rails {
 		c.Rails[i] = r.Clone()
 	}
@@ -158,6 +370,7 @@ func (a *Architecture) Clone() *Architecture {
 // a shrunk rail slice never resurrects stale rail pointers.
 func (a *Architecture) CopyFrom(src *Architecture) {
 	a.SOC, a.Times = src.SOC, src.Times
+	a.hash, a.inTest, a.inTestOK = src.hash, src.inTest, src.inTestOK
 	for len(a.Rails) < len(src.Rails) {
 		a.Rails = append(a.Rails, &Rail{})
 	}
@@ -166,6 +379,7 @@ func (a *Architecture) CopyFrom(src *Architecture) {
 		dst := a.Rails[i]
 		dst.Cores = append(dst.Cores[:0], r.Cores...)
 		dst.Width, dst.TimeIn, dst.TimeSI = r.Width, r.TimeIn, r.TimeSI
+		dst.clean, dst.hash, dst.key = r.clean, r.hash, r.key
 	}
 }
 
