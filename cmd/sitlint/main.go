@@ -1,0 +1,290 @@
+// Command sitlint runs the project's custom static-analysis suite —
+// one analyzer per cross-package correctness invariant of the
+// optimization engine (see internal/analysis/...):
+//
+//	railmutate    direct tam.Rail/tam.Architecture field writes outside internal/tam
+//	ctxflow       optimization loops must thread and check context.Context
+//	detrand       no global math/rand or time.Now in the deterministic search path
+//	traceevent    obs.Event literals use typed constants; phase spans balance
+//	errwrapcheck  sentinel errors use errors.Is and %w
+//
+// Two modes:
+//
+//	sitlint ./...                            # standalone, like a linter
+//	go vet -vettool=$(pwd)/sitlint ./...     # as a vet tool in CI
+//
+// In vettool mode sitlint implements the protocol `go vet` expects of
+// external tools (the x/tools unitchecker protocol): -V=full prints a
+// version line keyed to the binary's content, -flags advertises the
+// analyzer selection flags, and otherwise the single argument is a
+// JSON .cfg file describing one compilation unit. Analyzer selection:
+// with no flags every analyzer runs; naming analyzers (-railmutate
+// -detrand) runs only those.
+//
+// Exit status: 0 clean, 1 operational error, 2 diagnostics reported.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sitam/internal/analysis"
+	"sitam/internal/analysis/load"
+	"sitam/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The -V=full handshake must come before flag parsing: the go
+	// command invokes it to compute the tool's build ID.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		return printVersion()
+	}
+
+	fs := flag.NewFlagSet("sitlint", flag.ContinueOnError)
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (vettool protocol)")
+	enabled := map[string]*bool{}
+	for _, a := range suite.Analyzers() {
+		enabled[a.Name] = fs.Bool(a.Name, false, "run only the named analyzers: "+firstLine(a.Doc))
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *printFlags {
+		return printFlagDefs()
+	}
+
+	var analyzers []*analysis.Analyzer
+	for _, a := range suite.Analyzers() {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+	if len(analyzers) == 0 {
+		analyzers = suite.Analyzers()
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnit(analyzers, rest[0])
+	}
+	return runStandalone(analyzers, rest)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// printVersion implements the -V=full handshake: the go command
+// requires "<name> version <vers>" and, for devel versions, a
+// trailing buildID= token it uses to cache vet results. Hashing the
+// executable makes the ID track rebuilds of the tool itself.
+func printVersion() int {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%x\n", name, h.Sum(nil))
+	return 0
+}
+
+// printFlagDefs implements the -flags handshake: the go command asks
+// which flags the tool supports so it can forward matching command
+// line flags.
+func printFlagDefs() int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var defs []jsonFlag
+	for _, a := range suite.Analyzers() {
+		defs = append(defs, jsonFlag{Name: a.Name, Bool: true, Usage: firstLine(a.Doc)})
+	}
+	data, err := json.Marshal(defs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sitlint:", err)
+		return 1
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+	return 0
+}
+
+// vetConfig is the JSON the go command writes for each compilation
+// unit in vettool mode (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one compilation unit described by a vet .cfg file.
+func runUnit(analyzers []*analysis.Analyzer, cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sitlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "sitlint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The suite carries no cross-package facts, so dependency-only
+	// units need no analysis — just the (empty) facts file the go
+	// command expects as the action's output.
+	if !cfg.VetxOnly {
+		if code := analyzeUnit(analyzers, &cfg); code != 0 {
+			return code
+		}
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "sitlint:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func analyzeUnit(analyzers []*analysis.Analyzer, cfg *vetConfig) int {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "sitlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tconf := types.Config{Importer: imp, Sizes: types.SizesFor(compiler, "amd64")}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "sitlint:", err)
+		return 1
+	}
+	// Test variants list the package under paths like "pkg [pkg.test]";
+	// analyzers match on the plain import path.
+	pkg := &analysis.Package{
+		Path:      strings.TrimSuffix(strings.SplitN(cfg.ImportPath, " ", 2)[0], ".test"),
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	if pkg.Path != tpkg.Path() {
+		pkg.Types = tpkg // path used only for scoping decisions
+	}
+	diags, err := analysis.RunAll(analyzers, []*analysis.Package{pkg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sitlint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// runStandalone loads packages by pattern and analyzes them, printing
+// diagnostics to stdout with paths relative to the working directory.
+func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sitlint:", err)
+		return 1
+	}
+	pkgs, err := load.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sitlint:", err)
+		return 1
+	}
+	count := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAll(analyzers, []*analysis.Package{pkg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sitlint:", err)
+			return 1
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			name := pos.Filename
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+			count++
+		}
+	}
+	if count > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// buildTool builds the sitlint binary once per test binary run.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sitlint")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/sitlint")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/sitlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVersionHandshake checks the -V=full output the go command parses
+// to compute the vet tool's build ID.
+func TestVersionHandshake(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	fields := strings.Fields(strings.TrimSpace(string(out)))
+	if len(fields) < 3 || fields[0] != "sitlint" || fields[1] != "version" {
+		t.Fatalf("-V=full output %q; want \"sitlint version ...\"", out)
+	}
+	last := fields[len(fields)-1]
+	if !strings.HasPrefix(last, "buildID=") || len(last) == len("buildID=") {
+		t.Fatalf("-V=full output %q lacks a buildID= token", out)
+	}
+}
+
+// TestFlagsHandshake checks the -flags JSON the go command uses to
+// validate user-provided analyzer flags.
+func TestFlagsHandshake(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var defs []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &defs); err != nil {
+		t.Fatalf("-flags output is not JSON: %v\n%s", err, out)
+	}
+	got := map[string]bool{}
+	for _, d := range defs {
+		if !d.Bool {
+			t.Errorf("flag %s not boolean", d.Name)
+		}
+		got[d.Name] = true
+	}
+	for _, want := range []string{"ctxflow", "detrand", "errwrapcheck", "railmutate", "traceevent"} {
+		if !got[want] {
+			t.Errorf("-flags output missing analyzer %s: %s", want, out)
+		}
+	}
+}
+
+// violations is a source file that commits one violation per analyzer.
+// It is injected into internal/sischedule via -overlay (the package is
+// in ctxflow's target set and already imports tam and obs), so the
+// on-disk tree is never modified.
+const violations = `package sischedule
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sitam/internal/obs"
+	"sitam/internal/tam"
+)
+
+var ErrZZViolation = errors.New("zz violation")
+
+func ZZViolate(a *tam.Architecture, sink obs.Sink, items []int, err error) (int64, error) {
+	a.Rails[0].TimeSI = 9
+	total := int64(rand.Intn(3)) + time.Now().UnixNano()
+	for _, x := range items {
+		total += int64(zzEval(context.Background(), x))
+	}
+	sink.Emit(obs.Event{Type: obs.PhaseStart, Phase: "zz"})
+	if err == ErrZZViolation {
+		return 0, fmt.Errorf("zz: %v", ErrZZViolation)
+	}
+	return total, nil
+}
+
+func zzEval(ctx context.Context, x int) int { return x }
+`
+
+// TestVettoolFlagsReintroducedViolations reintroduces one violation of
+// each kind through a build overlay and asserts that
+// `go vet -vettool=sitlint` fails with every analyzer represented.
+func TestVettoolFlagsReintroducedViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go vet; skipped in -short mode")
+	}
+	bin := buildTool(t)
+	root := repoRoot(t)
+	tmp := t.TempDir()
+
+	vioFile := filepath.Join(tmp, "zz_violation.go")
+	if err := os.WriteFile(vioFile, []byte(violations), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	overlay := filepath.Join(tmp, "overlay.json")
+	ov, err := json.Marshal(map[string]map[string]string{
+		"Replace": {filepath.Join(root, "internal/sischedule/zz_violation.go"): vioFile},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(overlay, ov, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "-overlay="+overlay, "sitam/internal/sischedule")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet succeeded on a tree with reintroduced violations:\n%s", out)
+	}
+
+	// One diagnostic per analyzer, except detrand (two sites: rand.Intn
+	// and time.Now) and errwrapcheck (identity comparison plus %v wrap).
+	wantCounts := map[string]int{
+		"railmutate":   1,
+		"detrand":      2,
+		"ctxflow":      1,
+		"traceevent":   1,
+		"errwrapcheck": 2,
+	}
+	for name, want := range wantCounts {
+		n := 0
+		for _, line := range strings.Split(string(out), "\n") {
+			if strings.Contains(line, "zz_violation.go:") && strings.Contains(line, ": "+name+": ") {
+				n++
+			}
+		}
+		if n != want {
+			t.Errorf("analyzer %s: got %d diagnostics, want %d\noutput:\n%s", name, n, want, out)
+		}
+	}
+}
+
+// TestStandaloneCleanTree runs the standalone driver over the whole
+// module and requires a clean exit: the repository must stay free of
+// the invariant violations the suite enforces.
+func TestStandaloneCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module; skipped in -short mode")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("sitlint ./... failed: %v\n%s", err, out)
+	}
+}

@@ -5,7 +5,7 @@
 //
 //	tamopt -soc d695 -w 16 -trace run.jsonl
 //	sitrace run.jsonl              # summary
-//	sitrace -check run.jsonl       # schema validation only
+//	sitrace -check run.jsonl       # schema + span-balance validation only
 //	sitrace -curve run.jsonl       # convergence curve as CSV on stdout
 //
 // The input is read from the file argument, or stdin when the argument
@@ -44,6 +44,11 @@ func main() {
 	}
 	switch {
 	case *check:
+		// Only -check enforces span balance: the summary stays usable
+		// on traces truncated by a killed process.
+		if err := obs.ValidateSpans(events); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("trace OK: %d events\n", len(events))
 	case *curve:
 		fmt.Println("seq,evals,best")

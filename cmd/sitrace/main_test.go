@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sitam/internal/obs"
+)
+
+func buildSitrace(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "sitrace")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func writeTrace(t *testing.T, events []obs.Event) string {
+	t.Helper()
+	for i := range events {
+		events[i].Seq = uint64(i)
+	}
+	name := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := obs.WriteJSONL(f, events); err != nil {
+		t.Fatal(err)
+	}
+	return name
+}
+
+// TestCheckUnbalancedSpanFails drives `sitrace -check` against a trace
+// whose schema is valid but whose greedy phase span is never closed:
+// validation must fail.
+func TestCheckUnbalancedSpanFails(t *testing.T) {
+	bin := buildSitrace(t)
+	trace := writeTrace(t, []obs.Event{
+		{Type: obs.PhaseStart, Phase: "greedy"},
+		{Type: obs.CandidateEvaluated, Phase: "greedy", Best: 10},
+	})
+	out, err := exec.Command(bin, "-check", trace).CombinedOutput()
+	if err == nil {
+		t.Fatalf("-check accepted a trace with an unclosed span:\n%s", out)
+	}
+	if !strings.Contains(string(out), "unbalanced phase spans") {
+		t.Fatalf("unexpected failure output: %s", out)
+	}
+
+	// The summary mode must stay usable on the same (truncated) trace.
+	if out, err := exec.Command(bin, trace).CombinedOutput(); err != nil {
+		t.Fatalf("summary rejected a truncated trace: %v\n%s", err, out)
+	}
+}
+
+// TestCheckBalancedTracePasses is the matching positive case.
+func TestCheckBalancedTracePasses(t *testing.T) {
+	bin := buildSitrace(t)
+	trace := writeTrace(t, []obs.Event{
+		{Type: obs.PhaseStart, Phase: "greedy"},
+		{Type: obs.CandidateEvaluated, Phase: "greedy", Best: 10},
+		{Type: obs.PhaseEnd, Phase: "greedy", Best: 10},
+	})
+	out, err := exec.Command(bin, "-check", trace).CombinedOutput()
+	if err != nil {
+		t.Fatalf("-check rejected a balanced trace: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "trace OK") {
+		t.Fatalf("unexpected output: %s", out)
+	}
+}

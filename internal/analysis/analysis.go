@@ -1,0 +1,235 @@
+// Package analysis is a small, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer is a named
+// check with a Run function, a Pass hands the Run function one
+// type-checked package, and diagnostics are reported through the Pass.
+//
+// The subset is deliberately tiny — no facts, no flags, no result
+// sharing between analyzers — because the five sitlint analyzers are
+// all single-package syntax+types checks. The API mirrors the x/tools
+// names (Analyzer, Pass, Diagnostic, Reportf) so that, should the real
+// module ever become available to this repo, the analyzers port by
+// changing one import path.
+//
+// # Suppression directives
+//
+// A diagnostic is suppressed by a directive comment on the flagged
+// line or on the line directly above it:
+//
+//	//sitlint:allow detrand — wall-clock feeds the trace's DurNS field
+//
+// The directive names one or more comma-separated analyzers (or "all")
+// and should carry a short justification. Suppressions are part of the
+// reviewed source, which is the allow-list policy of the suite: every
+// exemption is visible in the diff that introduces it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one lint pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //sitlint:allow directives. By convention a lowercase single
+	// word.
+	Name string
+
+	// Doc is the analyzer's documentation: first line summary, then
+	// the invariant it enforces and its allow-list policy.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting diagnostics
+	// through pass.Report. The returned error aborts the whole lint
+	// run and is reserved for analyzer bugs, not findings.
+	Run func(pass *Pass) error
+}
+
+// Pass is the interface between one Analyzer and one type-checked
+// package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Set by the driver; analyzers
+	// normally call Reportf instead.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The sitlint
+// analyzers skip test files: tests deliberately violate invariants to
+// prove the production code defends them (e.g. the differential suite
+// corrupts a rail directly to check MarkDirty), and the run-time
+// checks they exercise are the dynamic counterpart of these static
+// ones.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.File(pos).Name(), "_test.go")
+}
+
+// Package is one loaded, type-checked package an analyzer can run on.
+// Both the sitlint driver and the analysistest fixture runner produce
+// this shape.
+type Package struct {
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Run applies one analyzer to one package and returns its diagnostics
+// with suppression directives already applied, sorted by position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+	}
+	pass.Report = func(d Diagnostic) {
+		if d.Analyzer == "" {
+			d.Analyzer = a.Name
+		}
+		if sup.allows(pkg.Fset, d.Pos, a.Name) {
+			return
+		}
+		out = append(out, d)
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// RunAll applies every analyzer to every package, concatenating the
+// diagnostics in (package, analyzer) order.
+func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			ds, err := Run(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ds...)
+		}
+	}
+	return out, nil
+}
+
+// suppressions maps file name -> line -> set of allowed analyzer names
+// ("all" allows every analyzer).
+type suppressions map[string]map[int]map[string]bool
+
+const directivePrefix = "//sitlint:allow"
+
+// collectSuppressions scans the files' comments for //sitlint:allow
+// directives. A directive suppresses the named analyzers on its own
+// line and on the following line (so it can sit above the flagged
+// statement or trail it).
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //sitlint:allowother
+				}
+				// The analyzer list ends at the first token that is
+				// not a comma-separated name; everything after is the
+				// justification.
+				names := strings.FieldsFunc(strings.Fields(rest)[0], func(r rune) bool { return r == ',' })
+				position := fset.Position(c.Pos())
+				byLine := sup[position.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					sup[position.Filename] = byLine
+				}
+				for _, line := range []int{position.Line, position.Line + 1} {
+					set := byLine[line]
+					if set == nil {
+						set = map[string]bool{}
+						byLine[line] = set
+					}
+					for _, n := range names {
+						set[n] = true
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) allows(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	if len(s) == 0 || !pos.IsValid() {
+		return false
+	}
+	position := fset.Position(pos)
+	set := s[position.Filename][position.Line]
+	return set[analyzer] || set["all"]
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// FuncFromPkg resolves a call expression to a package-level function
+// or method object declared in the package with the given import path,
+// or nil. Builtins, conversions and locals yield nil.
+func FuncFromPkg(info *types.Info, call *ast.CallExpr, pkgPath string) *types.Func {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return nil
+	}
+	return fn
+}
+
+// CalleeFunc resolves a call's callee to a *types.Func (function or
+// method), or nil for builtins, conversions and calls of non-named
+// function values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"sitam/internal/analysis/analysistest"
+	"sitam/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	ctxflow.Targets["a"] = true
+	defer delete(ctxflow.Targets, "a")
+	analysistest.Run(t, ctxflow.Analyzer, "a")
+}
+
+// TestOutsideTargets checks the allow-list policy: the same violations
+// in a package outside Targets report nothing.
+func TestOutsideTargets(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "b")
+}

@@ -1,0 +1,16 @@
+// Package b mirrors the flagged fixture but is not enrolled in
+// ctxflow.Targets, so nothing is reported: the schedulers' inner loops
+// below one objective evaluation are atomic by design.
+package b
+
+import "context"
+
+func evalCtx(ctx context.Context, x int) int { return x }
+
+func NoCtx(items []int) int {
+	total := 0
+	for _, x := range items {
+		total += evalCtx(context.Background(), x)
+	}
+	return total
+}

@@ -1,0 +1,108 @@
+// Package detrand protects the byte-identical determinism guarantees
+// of the differential test suites: inside the deterministic search
+// path, randomness must come from an injected, seeded *rand.Rand and
+// wall-clock time must not influence results.
+//
+// Two rules:
+//
+//  1. global randomness — any reference to a top-level math/rand (or
+//     math/rand/v2) function other than the constructors New, NewSource
+//     and NewZipf is flagged everywhere in the module. The global
+//     functions draw from a process-wide, non-reseedable source, so two
+//     same-seed runs stop being byte-identical the moment one sneaks in.
+//
+//  2. wall-clock — calls to time.Now() are flagged inside the
+//     deterministic-path packages. Timing capture that feeds only the
+//     trace's documented nondeterministic fields (PhaseEnd.DurNS, the
+//     busy/wall metrics) is exempted site by site with a
+//     //sitlint:allow detrand directive, which keeps each exemption
+//     visible in review.
+//
+// Allow-list policy: packages in Exempt (internal/obs — the layer that
+// defines the nondeterministic fields — and internal/experiments,
+// which reports wall-clock by design) are skipped entirely, as are the
+// CLIs, tools and examples (paths outside internal/ and the facade),
+// and _test.go files.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sitam/internal/analysis"
+)
+
+// Exempt lists packages the analyzer skips entirely. Mutable for the
+// analysistest fixtures.
+var Exempt = map[string]bool{
+	"sitam/internal/obs":         true,
+	"sitam/internal/experiments": true,
+}
+
+// randConstructors are the math/rand functions that build injected
+// generators — the only sanctioned way to get randomness.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand and time.Now in the deterministic search path",
+	Run:  run,
+}
+
+// inScope reports whether the package is part of the deterministic
+// search path: the facade and every internal package except the
+// exempted observability/reporting layers. CLIs (sitam/cmd/...),
+// tools and examples capture timing by design and are out of scope.
+func inScope(path string) bool {
+	if Exempt[path] {
+		return false
+	}
+	for _, prefix := range []string{"sitam/cmd", "sitam/tools", "sitam/examples"} {
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return false
+		}
+	}
+	return true
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if len(f.Decls) > 0 && pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions: methods on *rand.Rand are
+			// the sanctioned injected generators.
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					pass.Reportf(sel.Sel.Pos(),
+						"global rand.%s draws from the process-wide source and breaks seed determinism; use the injected *rand.Rand",
+						fn.Name())
+				}
+			case "time":
+				if fn.Name() == "Now" {
+					pass.Reportf(sel.Sel.Pos(),
+						"time.Now in the deterministic search path; results must not depend on wall-clock (timing capture sites carry //sitlint:allow detrand)")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

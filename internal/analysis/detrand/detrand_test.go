@@ -1,0 +1,20 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"sitam/internal/analysis/analysistest"
+	"sitam/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "a")
+}
+
+// TestExempt checks the allow-list policy: an exempted package may use
+// wall-clock and global randomness freely.
+func TestExempt(t *testing.T) {
+	detrand.Exempt["b"] = true
+	defer delete(detrand.Exempt, "b")
+	analysistest.Run(t, detrand.Analyzer, "b")
+}

@@ -1,0 +1,7 @@
+package a
+
+import "math/rand"
+
+// _test.go files are outside the deterministic-path contract: tests
+// may use global randomness to build arbitrary inputs.
+func testHelper() int { return rand.Intn(3) }

@@ -1,0 +1,13 @@
+// Package b mirrors the flagged fixture but is enrolled in
+// detrand.Exempt by the test, as internal/obs and internal/experiments
+// are in the real tree: reporting layers measure wall-clock by design.
+package b
+
+import (
+	"math/rand"
+	"time"
+)
+
+func unflagged() int64 {
+	return int64(rand.Intn(10)) + time.Now().UnixNano()
+}

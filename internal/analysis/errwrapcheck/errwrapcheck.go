@@ -1,0 +1,195 @@
+// Package errwrapcheck enforces the sentinel-error discipline the
+// facade's error contract depends on: callers classify interruptions
+// with errors.Is(err, ErrBudgetExhausted) and the guard wraps
+// ErrInternal with %w, so sentinels must survive wrapping anywhere in
+// between.
+//
+// A sentinel is a package-level `var Err... ` of type error (e.g.
+// sitam.ErrInternal, core.ErrBudgetExhausted). Two rules:
+//
+//  1. comparison — a sentinel compared with == or != (including
+//     `switch err { case ErrX }`) misses wrapped errors; use
+//     errors.Is. Comparisons inside the errors package machinery
+//     itself would be fine, but this module has none.
+//
+//  2. wrapping — an fmt.Errorf argument that is a sentinel must be
+//     formatted with %w, not %v/%s: a sentinel demoted to text can no
+//     longer be matched by errors.Is downstream, which silently breaks
+//     the Partial/Cause classification and the guard's ErrInternal
+//     contract.
+//
+// Allow-list policy: _test.go files are skipped (tests assert exact
+// error identity on purpose); individual sites can carry a
+// //sitlint:allow errwrapcheck directive.
+package errwrapcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"sitam/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrapcheck",
+	Doc:  "sentinel errors must be compared with errors.Is and wrapped with %w",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if len(f.Decls) > 0 && pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkComparison(pass, n)
+				}
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinel resolves expr to a package-level error variable named
+// Err..., or nil.
+func sentinel(pass *analysis.Pass, expr ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.IsField() || !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	// Package-level: parent scope is the package scope.
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+		return nil
+	}
+	return v
+}
+
+func checkComparison(pass *analysis.Pass, expr *ast.BinaryExpr) {
+	for _, side := range []ast.Expr{expr.X, expr.Y} {
+		if v := sentinel(pass, side); v != nil {
+			pass.Reportf(expr.OpPos,
+				"sentinel %s compared with %s misses wrapped errors; use errors.Is(err, %s)",
+				v.Name(), expr.Op, v.Name())
+			return
+		}
+	}
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	if t := pass.TypesInfo.TypeOf(sw.Tag); t == nil || !types.Identical(t, types.Universe.Lookup("error").Type()) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if v := sentinel(pass, e); v != nil {
+				pass.Reportf(e.Pos(),
+					"switch case compares sentinel %s by identity and misses wrapped errors; use errors.Is(err, %s)",
+					v.Name(), v.Name())
+			}
+		}
+	}
+}
+
+// checkErrorf flags fmt.Errorf calls whose sentinel arguments are not
+// matched to a %w verb.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.FuncFromPkg(pass.TypesInfo, call, "fmt")
+	if fn == nil || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs, mapped := formatVerbs(format)
+	if !mapped {
+		return
+	}
+	for i, arg := range call.Args[1:] {
+		v := sentinel(pass, arg)
+		if v == nil {
+			continue
+		}
+		verb := byte(0)
+		if i < len(verbs) {
+			verb = verbs[i]
+		}
+		if verb != 'w' {
+			pass.Reportf(arg.Pos(),
+				"sentinel %s formatted with %%%c loses its identity for errors.Is; wrap it with %%w",
+				v.Name(), printable(verb))
+		}
+	}
+}
+
+func printable(verb byte) byte {
+	if verb == 0 {
+		return '?'
+	}
+	return verb
+}
+
+// formatVerbs extracts the verb letters of a format string in argument
+// order. Explicit argument indexes (%[1]d) and * width/precision are
+// rare in this module and make the mapping ambiguous; any occurrence
+// aborts the mapping (ok = false) so no false positive is produced.
+func formatVerbs(format string) (verbs []byte, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// Skip flags, width and precision.
+		for i < len(format) && strings.IndexByte("+-# 0123456789.", format[i]) >= 0 {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '[' || format[i] == '*' {
+			return nil, false
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs, true
+}

@@ -1,0 +1,12 @@
+package errwrapcheck_test
+
+import (
+	"testing"
+
+	"sitam/internal/analysis/analysistest"
+	"sitam/internal/analysis/errwrapcheck"
+)
+
+func TestErrwrapcheck(t *testing.T) {
+	analysistest.Run(t, errwrapcheck.Analyzer, "a")
+}

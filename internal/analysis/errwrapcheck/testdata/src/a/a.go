@@ -1,0 +1,63 @@
+// Package a exercises the errwrapcheck analyzer: sentinel errors must
+// be compared with errors.Is and wrapped with %w.
+package a
+
+import (
+	"errors"
+	"fmt"
+
+	"sitam/internal/core"
+)
+
+var ErrExhausted = errors.New("exhausted")
+
+// notSentinel's name does not start with Err, so identity comparison
+// is not flagged.
+var notSentinel = errors.New("not a sentinel")
+
+func flagged(err error) error {
+	if err == ErrExhausted { // want `sentinel ErrExhausted compared with == misses wrapped errors`
+		return nil
+	}
+	if ErrExhausted != err { // want `sentinel ErrExhausted compared with != misses wrapped errors`
+		return nil
+	}
+	switch err {
+	case core.ErrBudgetExhausted: // want `switch case compares sentinel ErrBudgetExhausted by identity`
+		return nil
+	}
+	if false {
+		return fmt.Errorf("wrapping: %v", ErrExhausted) // want `sentinel ErrExhausted formatted with %v loses its identity`
+	}
+	return fmt.Errorf("step %d failed: %s", 3, ErrExhausted) // want `sentinel ErrExhausted formatted with %s loses its identity`
+}
+
+func allowed(err error) error {
+	if errors.Is(err, ErrExhausted) {
+		return nil
+	}
+	if errors.Is(err, core.ErrBudgetExhausted) {
+		return nil
+	}
+	if err == nil { // nil is not a sentinel
+		return nil
+	}
+	if err == notSentinel {
+		return nil
+	}
+	switch {
+	case errors.Is(err, ErrExhausted): // tagless switch on errors.Is is the idiom
+		return nil
+	}
+	return fmt.Errorf("step %d failed: %w", 3, ErrExhausted)
+}
+
+func indexedFormat() error {
+	// Explicit argument indexes abort the verb mapping; no report
+	// rather than a wrong one.
+	return fmt.Errorf("%[1]v", ErrExhausted)
+}
+
+func suppressed(err error) bool {
+	return err == ErrExhausted //sitlint:allow errwrapcheck — identity check is intentional here
+}

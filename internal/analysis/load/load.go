@@ -1,0 +1,179 @@
+// Package load type-checks packages of the surrounding module for the
+// sitlint analyzers without importing golang.org/x/tools: it shells
+// out to `go list -export -deps -json` for package metadata and
+// compiled export data (both come from the local build cache, so the
+// loader works offline), parses the target packages' sources with
+// go/parser, and type-checks them with go/types using an importer that
+// reads dependency export data through go/importer's lookup hook.
+//
+// Two entry points:
+//
+//   - Load resolves package patterns (./..., specific import paths)
+//     and returns the matched packages fully type-checked — the
+//     standalone `sitlint ./...` driver.
+//
+//   - NewResolver + CheckFiles type-check an ad-hoc file set (the
+//     analysistest fixtures under testdata/src, which `go list` cannot
+//     see) against the same dependency universe.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"sitam/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Resolver owns one dependency universe: the export data of every
+// package reachable from the patterns it was built from, plus the
+// token.FileSet and importer shared by all type-checking done with it.
+type Resolver struct {
+	Fset    *token.FileSet
+	exports map[string]string // canonical import path -> export data file
+	imports map[string]string // source import path -> canonical path
+	targets []*listPackage
+	imp     types.Importer
+}
+
+// NewResolver runs `go list -export -deps -json` in dir over the given
+// patterns and returns a resolver whose universe covers every listed
+// package. Patterns may mix module-relative patterns (./...) with
+// explicit stdlib import paths fixtures need (e.g. "math/rand").
+func NewResolver(dir string, patterns ...string) (*Resolver, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,ImportMap,DepOnly,Standard,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	r := &Resolver{
+		Fset:    token.NewFileSet(),
+		exports: map[string]string{},
+		imports: map[string]string{},
+	}
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			r.exports[p.ImportPath] = p.Export
+		}
+		for src, canonical := range p.ImportMap {
+			r.imports[src] = canonical
+		}
+		if !p.DepOnly {
+			pkg := p
+			r.targets = append(r.targets, &pkg)
+		}
+	}
+	r.imp = importer.ForCompiler(r.Fset, "gc", r.lookup)
+	return r, nil
+}
+
+// lookup feeds dependency export data to the gc importer.
+func (r *Resolver) lookup(path string) (io.ReadCloser, error) {
+	if canonical, ok := r.imports[path]; ok {
+		path = canonical
+	}
+	file, ok := r.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("load: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// CheckFiles parses and type-checks the given files as one package
+// with the given import path. Imports resolve through the resolver's
+// export universe, so the files may import anything the module (or the
+// resolver's extra patterns) reaches.
+func (r *Resolver) CheckFiles(pkgPath string, filenames ...string) (*analysis.Package, error) {
+	files := make([]*ast.File, len(filenames))
+	for i, name := range filenames {
+		f, err := parser.ParseFile(r.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files[i] = f
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: r.imp}
+	tpkg, err := conf.Check(pkgPath, r.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", pkgPath, err)
+	}
+	return &analysis.Package{
+		Path:      pkgPath,
+		Fset:      r.Fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// Load type-checks every package matched by the patterns (dependencies
+// come from export data and are not re-checked). dir is the working
+// directory for pattern resolution — normally the module root.
+func Load(dir string, patterns ...string) ([]*analysis.Package, error) {
+	r, err := NewResolver(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Package
+	for _, t := range r.targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		names := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			names[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := r.CheckFiles(t.ImportPath, names...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}

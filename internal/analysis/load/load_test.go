@@ -1,0 +1,78 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to the directory
+// holding go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test's working directory")
+		}
+		dir = parent
+	}
+}
+
+func TestLoadTypeChecksModulePackage(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), "sitam/internal/tam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "sitam/internal/tam" {
+		t.Errorf("path = %q", pkg.Path)
+	}
+	// The loader must resolve both the package's own declarations and
+	// its cross-package dependencies (soc, wrapper) via export data.
+	if pkg.Types.Scope().Lookup("Rail") == nil {
+		t.Error("tam.Rail not found in type-checked package")
+	}
+	if pkg.Types.Scope().Lookup("Architecture") == nil {
+		t.Error("tam.Architecture not found in type-checked package")
+	}
+	if len(pkg.TypesInfo.Defs) == 0 {
+		t.Error("TypesInfo.Defs is empty — type checking did not run")
+	}
+}
+
+func TestResolverChecksAdHocFiles(t *testing.T) {
+	root := moduleRoot(t)
+	r, err := NewResolver(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "x.go")
+	code := `package x
+
+import "sitam/internal/tam"
+
+func Widths(a *tam.Architecture) int { return a.TotalWidth() }
+`
+	if err := os.WriteFile(src, []byte(code), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := r.CheckFiles("x", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Scope().Lookup("Widths") == nil {
+		t.Error("Widths not found in ad-hoc package")
+	}
+}

@@ -1,0 +1,96 @@
+// Package railmutate flags direct writes to tam.Rail and
+// tam.Architecture struct fields from outside internal/tam.
+//
+// Invariant: the architecture's incremental XOR hash and the rails'
+// dirty bits are maintained only by the tam mutation API (AddRail,
+// SetWidth, MoveCore, CarveCore, MergeRails, SetTimeSI, MarkDirty,
+// CopyFrom). A direct field write — `rail.Cores = ...`,
+// `a.Rails[i].Width++` — changes the composition without dirtying the
+// rail, so the cached hash, TimeIn and the evaluation-cache key all
+// silently desync from the real architecture.
+//
+// Allow-list policy: package internal/tam itself is exempt (it owns
+// the invariant), _test.go files are exempt (the differential suite
+// corrupts rails on purpose to prove MarkDirty works), and composite
+// literals are allowed — a freshly constructed Rail is dirty by
+// definition of the zero value, so `&tam.Rail{Width: 1}` cannot
+// desync anything.
+package railmutate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sitam/internal/analysis"
+)
+
+// TamPath is the import path of the package owning the guarded types.
+// A var so the analysistest fixtures could substitute their own; the
+// shipped configuration never changes it.
+var TamPath = "sitam/internal/tam"
+
+// guarded are the tam type names whose fields must not be written
+// directly.
+var guarded = map[string]bool{"Rail": true, "Architecture": true}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "railmutate",
+	Doc:  "flag direct writes to tam.Rail/tam.Architecture fields outside internal/tam",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == TamPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if len(f.Decls) > 0 && pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, n.X)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWrite reports lhs if it selects a field of a guarded tam type,
+// or writes an element of such a field (`r.Cores[0] = id` changes the
+// composition just as silently as replacing the slice).
+func checkWrite(pass *analysis.Pass, lhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		lhs = ast.Unparen(idx.X)
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != TamPath || !guarded[obj.Name()] {
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"direct write to tam.%s field %s outside internal/tam desyncs the dirty-rail hash; use the mutation API (AddRail/SetWidth/MoveCore/CarveCore/MergeRails/SetTimeSI/MarkDirty/CopyFrom)",
+		obj.Name(), sel.Sel.Name)
+}

@@ -1,0 +1,12 @@
+package railmutate_test
+
+import (
+	"testing"
+
+	"sitam/internal/analysis/analysistest"
+	"sitam/internal/analysis/railmutate"
+)
+
+func TestRailmutate(t *testing.T) {
+	analysistest.Run(t, railmutate.Analyzer, "a")
+}

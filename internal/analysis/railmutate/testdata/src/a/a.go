@@ -1,0 +1,34 @@
+// Package a exercises the railmutate analyzer: direct writes to
+// tam.Rail and tam.Architecture fields outside internal/tam desync the
+// dirty-rail hash and must go through the mutation API.
+package a
+
+import "sitam/internal/tam"
+
+// local shares field names with tam.Rail; writes to it are fine.
+type local struct {
+	Width  int
+	TimeSI int64
+}
+
+func flagged(a *tam.Architecture, r *tam.Rail) {
+	r.Width = 3           // want `direct write to tam\.Rail field Width`
+	r.TimeSI = 7          // want `direct write to tam\.Rail field TimeSI`
+	r.Cores[0] = 2        // want `direct write to tam\.Rail field Cores`
+	r.TimeIn++            // want `direct write to tam\.Rail field TimeIn`
+	a.Rails = nil         // want `direct write to tam\.Architecture field Rails`
+	a.Rails[0].TimeSI = 1 // want `direct write to tam\.Rail field TimeSI`
+}
+
+func allowed(a *tam.Architecture, r *tam.Rail, l *local) {
+	_ = r.Width // reads are fine
+	l.Width = 3 // same field names on an unrelated type are fine
+	l.TimeSI = 7
+	a.SetWidth(0, 3) // the mutation API is the sanctioned path
+	r.SetTimeSI(9)
+	a.MarkDirty(0)
+}
+
+func suppressed(r *tam.Rail) {
+	r.TimeIn = 0 //sitlint:allow railmutate — fixture demonstrates an audited exception
+}

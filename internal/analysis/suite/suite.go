@@ -1,0 +1,33 @@
+// Package suite assembles the sitlint analyzer suite: one analyzer
+// per cross-package correctness invariant of the optimization engine.
+package suite
+
+import (
+	"sitam/internal/analysis"
+	"sitam/internal/analysis/ctxflow"
+	"sitam/internal/analysis/detrand"
+	"sitam/internal/analysis/errwrapcheck"
+	"sitam/internal/analysis/railmutate"
+	"sitam/internal/analysis/traceevent"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		detrand.Analyzer,
+		errwrapcheck.Analyzer,
+		railmutate.Analyzer,
+		traceevent.Analyzer,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

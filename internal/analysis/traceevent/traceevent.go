@@ -1,0 +1,217 @@
+// Package traceevent keeps the structured search trace well-formed at
+// the emission sites, statically enforcing what obs.ValidateTrace and
+// sitrace -check verify on collected traces:
+//
+//  1. typed events — every obs.Event composite literal must set its
+//     Type field to one of the obs package's Type constants
+//     (obs.PhaseStart, obs.MergeAccepted, ...). String literals,
+//     conversions and locally invented constants bypass the closed
+//     event vocabulary that ReadJSONL and the differential trace
+//     suites validate against; unkeyed or Type-less literals build
+//     events that fail schema validation at run time.
+//
+//  2. balanced spans — a function that emits a PhaseStart (directly or
+//     via obs.Span) must also emit the matching PhaseEnd in the same
+//     function declaration (closures count: the engine's
+//     `end := e.phase(...)` pattern emits PhaseEnd from a returned
+//     closure). A discarded obs.Span handle can never be closed and is
+//     flagged at the call.
+//
+// Allow-list policy: package internal/obs itself is exempt (Span and
+// SpanHandle.End are by design the two halves of one pair), and
+// _test.go files are exempt (trace tests construct invalid events to
+// exercise ValidateTrace).
+package traceevent
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sitam/internal/analysis"
+)
+
+// ObsPath is the import path of the observability package.
+var ObsPath = "sitam/internal/obs"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "traceevent",
+	Doc:  "obs.Event literals must use obs event-type constants; phase spans must balance per function",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == ObsPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if len(f.Decls) > 0 && pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+		// Event literals outside function bodies (package vars).
+		for _, decl := range f.Decls {
+			if gd, ok := decl.(*ast.GenDecl); ok {
+				ast.Inspect(gd, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.CompositeLit); ok {
+						checkEventLit(pass, lit)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var starts, ends, spanCalls, endCalls int
+	var firstStart, firstEnd ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			switch checkEventLit(pass, n) {
+			case "PhaseStart":
+				starts++
+				if firstStart == nil {
+					firstStart = n
+				}
+			case "PhaseEnd":
+				ends++
+				if firstEnd == nil {
+					firstEnd = n
+				}
+			}
+		case *ast.CallExpr:
+			fn := analysis.FuncFromPkg(pass.TypesInfo, n, ObsPath)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case fn.Name() == "Span":
+				spanCalls++
+				if discarded(pass, fd, n) {
+					pass.Reportf(n.Pos(), "obs.Span handle discarded; the span can never emit its PhaseEnd — assign it and call End (or defer it)")
+				}
+			case fn.Name() == "End" && isSpanHandleMethod(fn):
+				endCalls++
+			}
+		}
+		return true
+	})
+	// A function opening spans must close them somewhere in the same
+	// declaration; counts need not match exactly (conditional paths),
+	// but one side being entirely absent is statically unbalanced.
+	if spanCalls > 0 && endCalls == 0 {
+		pass.Reportf(fd.Name.Pos(), "%s opens %d obs.Span span(s) but never calls End in the same function", fd.Name.Name, spanCalls)
+	}
+	if starts > 0 && ends == 0 && endCalls == 0 {
+		pass.Reportf(firstStart.Pos(), "%s emits PhaseStart but no matching PhaseEnd in the same function", fd.Name.Name)
+	}
+	if ends > 0 && starts == 0 && spanCalls == 0 {
+		pass.Reportf(firstEnd.Pos(), "%s emits PhaseEnd but no matching PhaseStart in the same function", fd.Name.Name)
+	}
+}
+
+// checkEventLit validates one composite literal if it is an obs.Event,
+// returning the name of the obs Type constant its Type field uses (""
+// when not an Event literal or not a constant — the latter is
+// reported).
+func checkEventLit(pass *analysis.Pass, lit *ast.CompositeLit) string {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || !isObsNamed(tv.Type, "Event") {
+		return ""
+	}
+	if len(lit.Elts) == 0 {
+		pass.Reportf(lit.Pos(), "obs.Event literal without a Type field fails schema validation; set Type to an obs event-type constant")
+		return ""
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			pass.Reportf(elt.Pos(), "unkeyed obs.Event literal; use keyed fields with Type set to an obs event-type constant")
+			return ""
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Type" {
+			continue
+		}
+		if name := obsTypeConst(pass, kv.Value); name != "" {
+			return name
+		}
+		pass.Reportf(kv.Value.Pos(), "obs.Event Type must be one of the obs event-type constants (closed vocabulary), not a literal or conversion")
+		return ""
+	}
+	pass.Reportf(lit.Pos(), "obs.Event literal without a Type field fails schema validation; set Type to an obs event-type constant")
+	return ""
+}
+
+// obsTypeConst resolves expr to an obs-package constant of type
+// obs.Type and returns its name, or "".
+func obsTypeConst(pass *analysis.Pass, expr ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil || c.Pkg().Path() != ObsPath || !isObsNamed(c.Type(), "Type") {
+		return ""
+	}
+	return c.Name()
+}
+
+// isObsNamed reports whether t is the named obs type with the given
+// name.
+func isObsNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == ObsPath
+}
+
+// isSpanHandleMethod reports whether fn is a method on obs.SpanHandle.
+func isSpanHandleMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	return isObsNamed(recv, "SpanHandle")
+}
+
+// discarded reports whether the span call's result is dropped: used as
+// a bare expression statement, or assigned to the blank identifier.
+func discarded(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if ast.Unparen(n.X) == call {
+				found = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if ast.Unparen(rhs) == call && i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

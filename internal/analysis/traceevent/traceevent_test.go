@@ -1,0 +1,12 @@
+package traceevent_test
+
+import (
+	"testing"
+
+	"sitam/internal/analysis/analysistest"
+	"sitam/internal/analysis/traceevent"
+)
+
+func TestTraceevent(t *testing.T) {
+	analysistest.Run(t, traceevent.Analyzer, "a")
+}

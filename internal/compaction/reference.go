@@ -1,6 +1,7 @@
 package compaction
 
 import (
+	"context"
 	"fmt"
 
 	"sitam/internal/sifault"
@@ -125,8 +126,16 @@ func DSATUR(patterns []*sifault.Pattern) ([]*sifault.Pattern, Stats, error) {
 // Exact computes a minimum clique cover by exact graph coloring of the
 // conflict graph with branch-and-bound. Exponential; callers should keep
 // n at or below roughly 20. Used only in tests to bound the greedy
-// heuristic's optimality gap.
+// heuristic's optimality gap. It is ExactCtx without cancellation.
 func Exact(patterns []*sifault.Pattern) ([]*sifault.Pattern, Stats, error) {
+	return ExactCtx(context.Background(), patterns)
+}
+
+// ExactCtx is Exact under a context. Cancellation or an expired
+// deadline aborts the branch-and-bound with an error wrapping
+// ctx.Err(): a truncated search cannot certify minimality, so there is
+// no degraded result.
+func ExactCtx(ctx context.Context, patterns []*sifault.Pattern) ([]*sifault.Pattern, Stats, error) {
 	n := len(patterns)
 	if n == 0 {
 		return nil, Stats{}, nil
@@ -170,8 +179,14 @@ func Exact(patterns []*sifault.Pattern) ([]*sifault.Pattern, Stats, error) {
 
 	var solve func(idx, used int) bool
 	found := false
+	nodes := 0
+	stopped := false
 	solve = func(idx, used int) bool {
-		if used >= bestK {
+		nodes++
+		if nodes&255 == 0 && ctx.Err() != nil {
+			stopped = true
+		}
+		if stopped || used >= bestK {
 			return false
 		}
 		if idx == n {
@@ -202,6 +217,9 @@ func Exact(patterns []*sifault.Pattern) ([]*sifault.Pattern, Stats, error) {
 		return false
 	}
 	solve(0, 0)
+	if stopped {
+		return nil, Stats{}, fmt.Errorf("compaction: exact cover interrupted after %d nodes: %w", nodes, ctx.Err())
+	}
 	if !found {
 		// DSATUR was already optimal; recolor with its assignment.
 		return dsat, stats, nil

@@ -135,7 +135,7 @@ func (ent *cacheEntry) restore(a *tam.Architecture) bool {
 	}
 	if aligned {
 		for i, r := range a.Rails {
-			r.TimeSI = rails[i].timeSI
+			r.SetTimeSI(rails[i].timeSI)
 		}
 		return true
 	}
@@ -149,7 +149,7 @@ func (ent *cacheEntry) restore(a *tam.Architecture) bool {
 		for j := range rails {
 			if used&(1<<uint(j)) == 0 && rails[j].hash == h {
 				used |= 1 << uint(j)
-				r.TimeSI = rails[j].timeSI
+				r.SetTimeSI(rails[j].timeSI)
 				found = true
 				break
 			}

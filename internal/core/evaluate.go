@@ -35,7 +35,7 @@ type InTestEvaluator struct{}
 func (InTestEvaluator) Evaluate(a *tam.Architecture) (int64, error) {
 	a.Refresh() // recomputes TimeIn for dirty rails only
 	for _, r := range a.Rails {
-		r.TimeSI = 0
+		r.SetTimeSI(0)
 	}
 	return a.InTestTime(), nil
 }

@@ -124,7 +124,7 @@ func (p *ParallelEvaluator) mapCandidates(ctx context.Context, base *tam.Archite
 	timed := p != nil && p.timed
 	var wallStart time.Time
 	if timed {
-		wallStart = time.Now()
+		wallStart = time.Now() //sitlint:allow detrand — wall/busy profiling metrics only, never the objective
 	}
 	k := p.workers()
 	if k <= 1 || n == 1 {
@@ -166,7 +166,7 @@ func (p *ParallelEvaluator) mapCandidates(ctx context.Context, base *tam.Archite
 		scratch.CopyFrom(base)
 		var t0 time.Time
 		if timed {
-			t0 = time.Now()
+			t0 = time.Now() //sitlint:allow detrand — per-candidate busy-time profiling only, never the objective
 		}
 		res[i].obj, res[i].aux, res[i].err = job(scratch, i)
 		if timed {

@@ -9,6 +9,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 
 	"sitam/internal/core"
@@ -31,8 +32,17 @@ type Result struct {
 
 // Optimize exhaustively solves P_SI_opt for s at total width wmax over
 // the given SI test groups. Pass no groups to optimize InTest time
-// only (the TR-Architect objective).
+// only (the TR-Architect objective). It is OptimizeCtx without
+// cancellation.
 func Optimize(s *soc.SOC, wmax int, groups []*sischedule.Group, m sischedule.Model) (*Result, error) {
+	return OptimizeCtx(context.Background(), s, wmax, groups, m)
+}
+
+// OptimizeCtx is Optimize under a context. Cancellation or an expired
+// deadline aborts the enumeration with an error wrapping ctx.Err():
+// unlike the heuristic engine there is no degraded result, because a
+// partially enumerated search cannot certify an optimum.
+func OptimizeCtx(ctx context.Context, s *soc.SOC, wmax int, groups []*sischedule.Group, m sischedule.Model) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -59,6 +69,11 @@ func Optimize(s *soc.SOC, wmax int, groups []*sischedule.Group, m sischedule.Mod
 	var enumerate func(i, maxBlock int) error
 	enumerate = func(i, maxBlock int) error {
 		if i == n {
+			// One check per complete partition: the width enumeration and
+			// scoring below it are the expensive part of each node.
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("exact: search interrupted after %d candidates: %w", best.Evaluated, err)
+			}
 			k := maxBlock + 1
 			if k > wmax {
 				return nil // not enough wires for one per rail

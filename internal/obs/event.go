@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Type identifies one kind of search-trace event.
@@ -223,6 +224,40 @@ func ValidateTrace(events []Event) error {
 		if err := events[i].Validate(); err != nil {
 			return fmt.Errorf("obs: event %d: %w", i, err)
 		}
+	}
+	return nil
+}
+
+// ValidateSpans checks that phase spans balance: every PhaseStart has
+// a matching PhaseEnd for the same phase, and no PhaseEnd arrives for
+// a phase with no span open. Balance is counted per phase name rather
+// than strictly nested, because Drain replays per-worker buffers
+// sequentially and same-name spans from sibling workers may
+// interleave. A trace that fails this check was truncated (the process
+// died mid-phase) or comes from an emitter with a missing End — the
+// statically checked counterpart is the traceevent analyzer.
+func ValidateSpans(events []Event) error {
+	open := map[string]int{}
+	for i := range events {
+		switch events[i].Type {
+		case PhaseStart:
+			open[events[i].Phase]++
+		case PhaseEnd:
+			open[events[i].Phase]--
+			if open[events[i].Phase] < 0 {
+				return fmt.Errorf("obs: event %d: phase_end %q with no open span", i, events[i].Phase)
+			}
+		}
+	}
+	var bad []string
+	for phase, n := range open {
+		if n != 0 {
+			bad = append(bad, fmt.Sprintf("%q (%d unclosed)", phase, n))
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("obs: unbalanced phase spans: %s", bad)
 	}
 	return nil
 }

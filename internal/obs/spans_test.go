@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateSpansBalanced(t *testing.T) {
+	events := []Event{
+		{Type: PhaseStart, Phase: "greedy"},
+		{Type: PhaseStart, Phase: "merge"},
+		{Type: PhaseEnd, Phase: "merge"},
+		{Type: PhaseEnd, Phase: "greedy"},
+	}
+	if err := ValidateSpans(events); err != nil {
+		t.Fatalf("balanced trace rejected: %v", err)
+	}
+}
+
+func TestValidateSpansInterleavedSameName(t *testing.T) {
+	// Drain replays per-worker buffers sequentially, so same-name spans
+	// from sibling workers interleave without nesting; counting per
+	// phase name must accept this.
+	events := []Event{
+		{Type: PhaseStart, Phase: "restart"},
+		{Type: PhaseStart, Phase: "restart"},
+		{Type: PhaseEnd, Phase: "restart"},
+		{Type: PhaseEnd, Phase: "restart"},
+	}
+	if err := ValidateSpans(events); err != nil {
+		t.Fatalf("interleaved same-name spans rejected: %v", err)
+	}
+}
+
+func TestValidateSpansUnclosed(t *testing.T) {
+	events := []Event{
+		{Type: PhaseStart, Phase: "greedy"},
+		{Type: PhaseEnd, Phase: "greedy"},
+		{Type: PhaseStart, Phase: "merge"},
+	}
+	err := ValidateSpans(events)
+	if err == nil {
+		t.Fatal("unclosed span accepted")
+	}
+	if !strings.Contains(err.Error(), "unbalanced phase spans") || !strings.Contains(err.Error(), "merge") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestValidateSpansEndWithoutStart(t *testing.T) {
+	events := []Event{
+		{Type: PhaseEnd, Phase: "greedy"},
+	}
+	if err := ValidateSpans(events); err == nil {
+		t.Fatal("phase_end with no open span accepted")
+	}
+}

@@ -344,7 +344,7 @@ func (p *Planner) Cost(a *tam.Architecture) (int64, CostStats, error) {
 	}
 
 	for i := range a.Rails {
-		a.Rails[i].TimeSI = sc.railSI[i]
+		a.Rails[i].SetTimeSI(sc.railSI[i])
 	}
 	return total, st, nil
 }

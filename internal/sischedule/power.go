@@ -131,7 +131,7 @@ func ScheduleSITestPower(a *tam.Architecture, groups []*Group, m Model, budget i
 	}
 
 	for i, t := range sched.RailSI {
-		a.Rails[i].TimeSI = t
+		a.Rails[i].SetTimeSI(t)
 	}
 	return sched, nil
 }

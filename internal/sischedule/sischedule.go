@@ -317,7 +317,7 @@ func scheduleSITest(a *tam.Architecture, groups []*Group, m Model) (*Schedule, e
 	}
 
 	for i, t := range sched.RailSI {
-		a.Rails[i].TimeSI = t
+		a.Rails[i].SetTimeSI(t)
 	}
 	return sched, nil
 }

@@ -21,8 +21,9 @@
 // The optimizer's hot loops mutate only one or two rails per candidate,
 // so the architecture tracks which rails are stale. Mutations must go
 // through the mutation API (SetWidth, MoveCore, CarveCore, MergeRails,
-// MarkDirty, or AddRail/CopyFrom/Clone), which marks the touched rails
-// dirty; Refresh then recomputes TimeIn only for dirty rails. Each clean
+// SetTimeSI, MarkDirty, or AddRail/CopyFrom/Clone), which marks the
+// touched rails dirty; Refresh then recomputes TimeIn only for dirty
+// rails. Each clean
 // rail carries a 64-bit FNV-1a sub-hash of its (width, cores)
 // composition, and the architecture maintains the XOR of the clean
 // rails' sub-hashes incrementally, giving evaluators an O(dirty)
@@ -73,6 +74,13 @@ type Rail struct {
 // TimeUsed returns the rail's total utilized testing time, the ranking
 // key of the paper's optimization loops.
 func (r *Rail) TimeUsed() int64 { return r.TimeIn + r.TimeSI }
+
+// SetTimeSI records the SI testing time the most recent SI schedule
+// utilized on the rail. It is the sanctioned way for schedulers to
+// write the field from outside the package: TimeSI is schedule output,
+// not part of the rail's (Width, Cores) composition, so setting it
+// does not dirty the rail or change its sub-hash.
+func (r *Rail) SetTimeSI(t int64) { r.TimeSI = t }
 
 // Has reports whether the rail hosts the given core.
 func (r *Rail) Has(coreID int) bool {

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# tools/lint.sh — the one-command local lint gate, mirroring the CI
+# lint job: standard go vet, then the project's own invariant suite
+# (cmd/sitlint) run as a vet tool, then govulncheck when available.
+#
+#   ./tools/lint.sh            # whole module
+#   ./tools/lint.sh ./internal/core ./internal/tam
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pkgs="${*:-./...}"
+
+echo "== go vet"
+# shellcheck disable=SC2086
+go vet $pkgs
+
+echo "== sitlint (railmutate ctxflow detrand traceevent errwrapcheck)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/sitlint" ./cmd/sitlint
+# shellcheck disable=SC2086
+go vet -vettool="$tmp/sitlint" $pkgs
+
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "== govulncheck"
+    # shellcheck disable=SC2086
+    govulncheck $pkgs
+else
+    echo "== govulncheck not installed; skipped (CI runs it)"
+fi
+
+echo "lint OK"
