@@ -5,17 +5,21 @@
 //
 // All commands exit with:
 //
-//	0  success
-//	1  error (bad input, I/O failure, internal error)
-//	3  partial result: the deadline expired or the run was interrupted,
-//	   and the best result found so far was printed
+//	0    success
+//	1    error (bad input, I/O failure, internal error)
+//	3    partial result: the deadline expired or the run was
+//	     interrupted, and the best result found so far was printed
+//	130  forced exit: a second SIGINT/SIGTERM arrived while the
+//	     command was still draining after the first one
 package cli
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 )
@@ -25,23 +29,58 @@ const (
 	ExitOK      = 0
 	ExitError   = 1
 	ExitPartial = 3
+
+	// ExitForced is 128+SIGINT, the conventional code for a
+	// signal-forced termination.
+	ExitForced = 130
 )
 
 // Context returns a context that is cancelled on SIGINT or SIGTERM and,
-// when timeout is positive, expires after the timeout. The returned
-// stop function releases the signal handler (restoring default
-// Ctrl-C behavior, so a second interrupt kills the process) and cancels
-// the context.
+// when timeout is positive, expires after the timeout.
+//
+// The first signal only cancels the context: the command drains
+// gracefully, printing its partial result. A second signal while that
+// drain is still running forces an immediate os.Exit(ExitForced) — a
+// stuck drain must never trap the user in an unkillable command. The
+// returned stop function releases the signal handler (restoring
+// default Ctrl-C behavior) and cancels the context.
 func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	if timeout <= 0 {
-		return ctx, stop
+	base, interrupt := context.WithCancel(context.Background())
+	ctx := base
+	cancelTimeout := func() {}
+	if timeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(base, timeout)
 	}
-	ctx, cancel := context.WithTimeout(ctx, timeout)
-	return ctx, func() {
-		cancel()
-		stop()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	stopped := make(chan struct{})
+	go func() {
+		select {
+		case <-stopped:
+			return
+		case <-sig:
+		}
+		interrupt() // begin the graceful drain
+		fmt.Fprintln(os.Stderr, "interrupt: draining (press Ctrl-C again to force exit)")
+		select {
+		case <-stopped:
+		case <-sig:
+			fmt.Fprintln(os.Stderr, "second interrupt: forcing exit")
+			os.Exit(ExitForced)
+		}
+	}()
+
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(sig)
+			close(stopped)
+		})
+		cancelTimeout()
+		interrupt()
 	}
+	return ctx, stop
 }
 
 // IsCtxErr reports whether err is the context machinery's cancellation

@@ -1,0 +1,146 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestContextTimeout(t *testing.T) {
+	ctx, stop := Context(10 * time.Millisecond)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout context never expired")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Errorf("ctx.Err() = %v, want DeadlineExceeded", ctx.Err())
+	}
+	if Cause(ctx) != "deadline" {
+		t.Errorf("Cause = %q, want deadline", Cause(ctx))
+	}
+}
+
+func TestContextStopIsIdempotent(t *testing.T) {
+	ctx, stop := Context(0)
+	stop()
+	stop() // second call must not panic or deadlock
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Errorf("ctx.Err() = %v, want Canceled after stop", ctx.Err())
+	}
+}
+
+// TestMain turns the test binary into the signal guinea pig when
+// re-exec'd: a command whose graceful drain deliberately dawdles, so
+// the parent can land a second signal inside it.
+func TestMain(m *testing.M) {
+	if os.Getenv("CLI_SIGTEST_CHILD") == "1" {
+		ctx, stop := Context(0)
+		defer stop()
+		fmt.Println("ready")
+		<-ctx.Done()
+		time.Sleep(2 * time.Second) // slow drain for the parent to interrupt
+		stop()
+		os.Exit(ExitPartial)
+	}
+	os.Exit(m.Run())
+}
+
+// TestSecondSignalForcesExit pins the escape hatch deterministically:
+// first SIGINT starts the drain (banner on stderr), second SIGINT
+// during the slow drain forces exit 130. This drives the same
+// cli.Context plumbing every sitam command uses.
+func TestSecondSignalForcesExit(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), "CLI_SIGTEST_CHILD=1")
+	out := &lockedBuilder{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor := func(marker string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !strings.Contains(out.String(), marker) {
+			if time.Now().After(deadline) {
+				t.Fatalf("child never printed %q:\n%s", marker, out.String())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor("ready")
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("press Ctrl-C again to force exit")
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err = cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != ExitForced {
+		t.Fatalf("err = %v, want exit code %d\n%s", err, ExitForced, out.String())
+	}
+	if !strings.Contains(out.String(), "forcing exit") {
+		t.Errorf("child output missing forced-exit marker:\n%s", out.String())
+	}
+}
+
+// TestSIGTERMAlsoDrains checks the drain path is wired for SIGTERM,
+// the signal process supervisors actually send.
+func TestSIGTERMAlsoDrains(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), "CLI_SIGTEST_CHILD=1")
+	out := &lockedBuilder{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), "ready") && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	err = cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != ExitPartial {
+		t.Fatalf("err = %v, want exit code %d (graceful drain)\n%s", err, ExitPartial, out.String())
+	}
+}
+
+type lockedBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuilder) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuilder) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}

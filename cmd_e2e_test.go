@@ -5,12 +5,17 @@ package sitam
 // status and the shape of its output.
 
 import (
+	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -239,5 +244,235 @@ func TestE2EErrorsGoToStderr(t *testing.T) {
 	}
 	if strings.Contains(stdout.String(), "error") {
 		t.Errorf("error text leaked to stdout:\n%s", stdout.String())
+	}
+}
+
+// --- sitamd daemon e2e ------------------------------------------------
+
+// syncBuffer is a goroutine-safe writer the daemon's streams land in
+// while the test polls for landmark lines.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://\S+)`)
+
+// startSitamd launches the daemon on a free port and waits for its
+// listen line. The caller owns shutdown.
+func startSitamd(t *testing.T, args ...string) (*exec.Cmd, *syncBuffer, string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binaries(t), "sitamd"),
+		append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	out := &syncBuffer{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return cmd, out, m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("sitamd never printed its listen line:\n%s", out.String())
+	return nil, nil, ""
+}
+
+// submitJob posts a job and returns its ID.
+func submitJob(t *testing.T, base, body string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, raw)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	return acc.ID
+}
+
+// jobStatus fetches a job's status record.
+func jobStatus(t *testing.T, base, id string) (state, errMsg string, partial bool, ok bool) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return "", "", false, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", "", false, false
+	}
+	var st struct {
+		State  string `json:"state"`
+		Error  string `json:"error"`
+		Result *struct {
+			Partial bool `json:"partial"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", "", false, false
+	}
+	return st.State, st.Error, st.Result != nil && st.Result.Partial, true
+}
+
+func waitJobState(t *testing.T, base, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if state, _, _, ok := jobStatus(t, base, id); ok && state == want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	state, errMsg, _, _ := jobStatus(t, base, id)
+	t.Fatalf("job %s never reached %s (state %s, err %q)", id, want, state, errMsg)
+}
+
+// TestE2ESitamdServeDrain runs the full daemon lifecycle: serve a job
+// to completion, SIGTERM, graceful drain, metrics flush, exit 0.
+func TestE2ESitamdServeDrain(t *testing.T) {
+	cmd, out, base := startSitamd(t)
+	id := submitJob(t, base, `{"soc":"d695","wmax":12,"nr":200,"groups":2,"seed":1}`)
+	waitJobState(t, base, id, "done")
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("drain exit: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"draining: admission closed", "final metrics snapshot", "serve_done", "drained cleanly"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("daemon output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestE2ESitamdJournalKill9 is the crash-recovery gate: kill -9 the
+// daemon with one finished job and one mid-flight, restart on the same
+// journal, and check the finished result replays while the crash
+// victim is closed out as failed.
+func TestE2ESitamdJournalKill9(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "jobs.jsonl")
+	cmd, _, base := startSitamd(t, "-journal", journal, "-test-hooks", "-workers", "2")
+
+	// Job A exhausts a tiny eval budget -> terminal partial, journaled.
+	a := submitJob(t, base, `{"soc":"d695","wmax":12,"nr":200,"groups":2,"seed":1,"budget":5}`)
+	waitJobState(t, base, a, "partial")
+	// Job B stalls mid-flight -> the crash victim.
+	b := submitJob(t, base, `{"soc":"d695","wmax":12,"nr":200,"groups":2,"seed":1,"chaos":{"sleepMS":60000}}`)
+	waitJobState(t, base, b, "running")
+
+	if err := cmd.Process.Kill(); err != nil { // kill -9: no drain, no journal close
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	cmd2, out2, base2 := startSitamd(t, "-journal", journal)
+	state, _, partial, ok := jobStatus(t, base2, a)
+	if !ok || state != "partial" || !partial {
+		t.Errorf("job %s after restart: state=%s partial=%v ok=%v, want replayed partial", a, state, partial, ok)
+	}
+	state, errMsg, _, ok := jobStatus(t, base2, b)
+	if !ok || state != "failed" || !strings.Contains(errMsg, "crashed") {
+		t.Errorf("job %s after restart: state=%s err=%q ok=%v, want failed crash record", b, state, errMsg, ok)
+	}
+	// The recovered daemon keeps serving and continues the ID sequence.
+	c := submitJob(t, base2, `{"soc":"d695","wmax":12,"nr":200,"groups":2,"seed":1}`)
+	if c == a || c == b {
+		t.Errorf("recovered daemon reused job ID %s", c)
+	}
+	waitJobState(t, base2, c, "done")
+
+	cmd2.Process.Signal(syscall.SIGTERM)
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("recovered daemon drain exit: %v\n%s", err, out2.String())
+	}
+}
+
+// TestE2ESitamdSecondSIGINTForcesExit pins the escape hatch: a second
+// interrupt during a slow graceful drain exits 130 immediately.
+func TestE2ESitamdSecondSIGINTForcesExit(t *testing.T) {
+	cmd, out, base := startSitamd(t, "-test-hooks", "-drain", "30s")
+	id := submitJob(t, base, `{"soc":"d695","wmax":12,"nr":200,"groups":2,"seed":1,"chaos":{"sleepMS":60000}}`)
+	waitJobState(t, base, id, "running")
+
+	// First interrupt: the drain starts and blocks on the sleeping job.
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), "draining") && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Second interrupt: forced exit, code 130.
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 130 {
+		t.Fatalf("err = %v, want exit code 130\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "forcing exit") {
+		t.Errorf("output missing forced-exit marker:\n%s", out.String())
+	}
+}
+
+// TestE2ETamoptSIGINTDrainBanner checks the batch CLIs advertise the
+// force-exit escape hatch when interrupted. The forced exit itself is
+// pinned where it can be exercised deterministically: the daemon e2e
+// above (slow drain on a stalled job) and the cli package's re-exec
+// test — a second SIGINT against tamopt's millisecond drain coalesces
+// with the first in the runtime's signal queue more often than not.
+func TestE2ETamoptSIGINTDrainBanner(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binaries(t), "tamopt"),
+		"-soc", "p93791", "-w", "40", "-nr", "4000", "-g", "2", "-ils", "100000")
+	out := &syncBuffer{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(1500 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 3 {
+		t.Fatalf("err = %v, want exit code 3\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "press Ctrl-C again to force exit") {
+		t.Errorf("output missing force-exit hint:\n%s", out.String())
 	}
 }

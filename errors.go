@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+
+	"sitam/internal/serve"
 )
 
 // ErrInternal wraps every error the facade synthesizes from a recovered
@@ -14,6 +16,14 @@ import (
 // library bug cannot crash the embedding process. Test for it with
 // errors.Is(err, sitam.ErrInternal).
 var ErrInternal = errors.New("sitam: internal error")
+
+// ErrOverloaded is the admission-control sentinel of the serving
+// layer (sitamd): a job submission was shed because the bounded queue
+// was full or the daemon was draining. Over HTTP it surfaces as
+// 503 + Retry-After; embedders driving a serve.Scheduler directly test
+// for it with errors.Is(err, sitam.ErrOverloaded) and retry later
+// instead of treating the shed as a hard failure.
+var ErrOverloaded = serve.ErrOverloaded
 
 // guard recovers a panic into *errp, wrapping ErrInternal. Use as
 //

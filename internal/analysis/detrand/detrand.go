@@ -36,8 +36,10 @@ import (
 // Exempt lists packages the analyzer skips entirely. Mutable for the
 // analysistest fixtures.
 var Exempt = map[string]bool{
-	"sitam/internal/obs":         true,
-	"sitam/internal/experiments": true,
+	"sitam/internal/obs":             true,
+	"sitam/internal/experiments":     true,
+	"sitam/internal/serve":           true, // serving layer: heartbeats, latency, Retry-After are wall-clock by design
+	"sitam/internal/serve/chaostest": true, // load harness: measures wall-clock latency percentiles
 }
 
 // randConstructors are the math/rand functions that build injected

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"sitam/internal/core"
+	"sitam/internal/serve"
 )
 
 var ErrExhausted = errors.New("exhausted")
@@ -26,8 +27,14 @@ func flagged(err error) error {
 	case core.ErrBudgetExhausted: // want `switch case compares sentinel ErrBudgetExhausted by identity`
 		return nil
 	}
+	if err == serve.ErrOverloaded { // want `sentinel ErrOverloaded compared with == misses wrapped errors`
+		return nil
+	}
 	if false {
 		return fmt.Errorf("wrapping: %v", ErrExhausted) // want `sentinel ErrExhausted formatted with %v loses its identity`
+	}
+	if false {
+		return fmt.Errorf("shed: %s", serve.ErrOverloaded) // want `sentinel ErrOverloaded formatted with %s loses its identity`
 	}
 	return fmt.Errorf("step %d failed: %s", 3, ErrExhausted) // want `sentinel ErrExhausted formatted with %s loses its identity`
 }
@@ -37,6 +44,9 @@ func allowed(err error) error {
 		return nil
 	}
 	if errors.Is(err, core.ErrBudgetExhausted) {
+		return nil
+	}
+	if errors.Is(err, serve.ErrOverloaded) {
 		return nil
 	}
 	if err == nil { // nil is not a sentinel

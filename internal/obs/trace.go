@@ -53,6 +53,21 @@ func (t *Tracer) Events() []Event {
 	return append([]Event(nil), t.events...)
 }
 
+// Since returns a copy of the events with sequence numbers >= n — the
+// incremental read used by followers (e.g. the sitamd SSE stream) that
+// poll a live trace without copying the growing prefix on every poll.
+func (t *Tracer) Since(n int) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(t.events) {
+		return nil
+	}
+	return append([]Event(nil), t.events[n:]...)
+}
+
 // WriteJSONL serializes the collected trace one JSON object per line.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	t.mu.Lock()

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ServerConfig parameterizes a Server: the scheduler Config plus the
+// HTTP-level knobs.
+type ServerConfig struct {
+	Config
+
+	// Heartbeat is the SSE keep-alive interval (a comment line when no
+	// trace events flow), so proxies and slow links do not reap idle
+	// streams. 0 means 10s.
+	Heartbeat time.Duration
+
+	// Poll is the SSE trace-follow interval. 0 means 50ms.
+	Poll time.Duration
+}
+
+// Server is the HTTP/JSON face of a Scheduler:
+//
+//	POST   /v1/jobs             submit  -> 202 {id}  | 503 + Retry-After
+//	GET    /v1/jobs             list job statuses
+//	GET    /v1/jobs/{id}        job status (result when terminal)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/jobs/{id}/events SSE: search trace + heartbeats; client
+//	                            disconnect cancels a live job unless
+//	                            ?cancel=no
+//	GET    /metrics             obs registry snapshot (JSON)
+//	GET    /healthz             liveness + drain state
+type Server struct {
+	sched     *Scheduler
+	mux       *http.ServeMux
+	heartbeat time.Duration
+	poll      time.Duration
+}
+
+// NewServer builds a scheduler per cfg and the HTTP surface over it.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	sched, err := NewScheduler(cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{sched: sched, mux: http.NewServeMux(), heartbeat: cfg.Heartbeat, poll: cfg.Poll}
+	if s.heartbeat <= 0 {
+		s.heartbeat = 10 * time.Second
+	}
+	if s.poll <= 0 {
+		s.poll = 50 * time.Millisecond
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Scheduler exposes the underlying scheduler (drain, direct job
+// access in tests).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response write failure leaves nothing to do
+}
+
+// submitAccepted is the 202 response body.
+type submitAccepted struct {
+	ID        string `json:"id"`
+	State     State  `json:"state"`
+	StatusURL string `json:"statusURL"`
+	EventsURL string `json:"eventsURL"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	body := http.MaxBytesReader(w, r.Body, 2<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding request: " + err.Error()})
+		return
+	}
+	job, err := s.sched.Submit(req)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		// Load shedding: tell the client when to come back instead of
+		// queueing unboundedly.
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.sched.RetryAfter()+time.Second-1)/time.Second)))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	case errors.Is(err, ErrInvalid):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitAccepted{
+		ID:        job.ID,
+		State:     job.State(),
+		StatusURL: "/v1/jobs/" + job.ID,
+		EventsURL: "/v1/jobs/" + job.ID + "/events",
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sched.Jobs()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Snapshot())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) jobOr404(w http.ResponseWriter, r *http.Request) *Job {
+	job, err := s.sched.Job(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return nil
+	}
+	return job
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if job := s.jobOr404(w, r); job != nil {
+		writeJSON(w, http.StatusOK, job.Snapshot())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.sched.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Snapshot())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Metrics().Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": s.sched.Draining(),
+		"jobs":     len(s.sched.Jobs()),
+	})
+}
+
+// handleEvents streams the job's structured search trace as
+// server-sent events ("trace" events carrying the JSONL records,
+// ": heartbeat" comments on idle, one final "done" event carrying the
+// terminal Status). If the client disconnects while the job is live,
+// the job is cancelled — an abandoned stream must not keep burning a
+// worker — unless the stream was opened with ?cancel=no.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job := s.jobOr404(w, r)
+	if job == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
+		return
+	}
+	cancelOnDisconnect := r.URL.Query().Get("cancel") != "no"
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	next := 0
+	flushTrace := func() {
+		events := job.Trace.Since(next)
+		if len(events) == 0 {
+			return
+		}
+		next += len(events)
+		for _, ev := range events {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: trace\ndata: %s\n\n", data)
+		}
+		fl.Flush()
+	}
+
+	poll := time.NewTicker(s.poll)
+	defer poll.Stop()
+	heartbeat := time.NewTicker(s.heartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			if cancelOnDisconnect && !job.State().Terminal() {
+				s.sched.Cancel(job.ID) //nolint:errcheck // the job is known to exist
+			}
+			return
+		case <-job.Done():
+			flushTrace()
+			data, err := json.Marshal(job.Snapshot())
+			if err == nil {
+				fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+			}
+			fl.Flush()
+			return
+		case <-poll.C:
+			flushTrace()
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		}
+	}
+}
