@@ -70,7 +70,18 @@ type (
 	SOC = soc.SOC
 	// Core is one wrapped embedded core.
 	Core = soc.Core
+	// ConstraintSet is the optional scheduling-constraint stanza of an
+	// SOC: a peak test power budget with per-core power overrides,
+	// core-level precedence edges, and mutual-exclusion sets.
+	ConstraintSet = soc.ConstraintSet
+	// Precedence orders the SI tests of two cores.
+	Precedence = soc.Precedence
 )
+
+// ErrInvalidConstraints reports a structurally invalid constraint set
+// (unknown core references, cyclic precedence, negative budgets); test
+// with errors.Is.
+var ErrInvalidConstraints = soc.ErrInvalid
 
 // ParseSOC reads an ITC'02-style .soc description.
 func ParseSOC(r io.Reader) (s *SOC, err error) {
@@ -193,6 +204,9 @@ type (
 	Architecture = tam.Architecture
 	// Rail is one TestRail.
 	Rail = tam.Rail
+	// Constraints is a ConstraintSet compiled against a concrete group
+	// list, in the form the schedulers consume. Nil = unconstrained.
+	Constraints = sischedule.Constraints
 )
 
 // DefaultModel returns the SI cost constants the experiments use.
@@ -221,6 +235,26 @@ func ScheduleSIPower(a *Architecture, groups []*Group, m Model, budget int64) (s
 	return sischedule.ScheduleSITestPower(a, groups, m, budget)
 }
 
+// CompileConstraints lifts the SOC's Constraints stanza onto the given
+// group list. SOCs without a stanza compile to nil (unconstrained);
+// structural errors (including core-level precedences that lift to a
+// cyclic group order) wrap ErrInvalidConstraints.
+func CompileConstraints(s *SOC, groups []*Group) (c *Constraints, err error) {
+	defer guard(&err)
+	return core.CompileSOCConstraints(s, groups)
+}
+
+// ScheduleSICons is ScheduleSI under a compiled constraint set: power
+// budget, precedence and exclusion are honored by the same Algorithm 1
+// list scheduler. A nil cons is exactly ScheduleSI.
+func ScheduleSICons(a *Architecture, groups []*Group, m Model, cons *Constraints) (sch *Schedule, err error) {
+	defer guard(&err)
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return sischedule.ScheduleSITestCons(a, groups, m, cons)
+}
+
 // ExactScheduleSI returns the provably minimal SI testing time for at
 // most sischedule.MaxExactGroups groups, via branch and bound. Used to
 // audit Algorithm 1's schedules.
@@ -244,6 +278,19 @@ func ExactScheduleSICtx(ctx context.Context, a *Architecture, groups []*Group, m
 		return 0, false, err
 	}
 	t, _, partial, err = sischedule.ExactScheduleCtx(ctx, a, groups, m)
+	return t, partial, err
+}
+
+// ExactScheduleSIConsCtx is ExactScheduleSICtx under a compiled
+// constraint set: branch and bound over precedence-feasible schedules
+// respecting the power budget and exclusions. A nil cons is exactly
+// ExactScheduleSICtx.
+func ExactScheduleSIConsCtx(ctx context.Context, a *Architecture, groups []*Group, m Model, cons *Constraints) (t int64, partial bool, err error) {
+	defer guard(&err)
+	if err := a.Validate(); err != nil {
+		return 0, false, err
+	}
+	t, _, partial, err = sischedule.ExactScheduleCons(ctx, a, groups, m, cons)
 	return t, partial, err
 }
 
@@ -388,7 +435,11 @@ func OptimizeILS(s *SOC, wmax int, groups []*Group, m Model, kicks int, seed int
 // back only when no valid architecture was produced.
 func OptimizeILSCtx(ctx context.Context, s *SOC, wmax int, groups []*Group, m Model, kicks int, seed int64) (res *Result, err error) {
 	defer guard(&err)
-	eng, err := core.NewEngine(s, wmax, core.NewIncrementalSIEvaluator(groups, m))
+	cons, err := core.CompileSOCConstraints(s, groups)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(s, wmax, core.NewIncrementalSIEvaluatorCons(groups, m, cons))
 	if err != nil {
 		return nil, err
 	}
@@ -407,7 +458,11 @@ func OptimizeILSCtx(ctx context.Context, s *SOC, wmax int, groups []*Group, m Mo
 // with cfg exactly. Result.Cache carries the cache counters of the run.
 func OptimizeILSWith(ctx context.Context, s *SOC, wmax int, groups []*Group, m Model, kicks, restarts int, seed int64, cfg ParallelConfig) (res *Result, err error) {
 	defer guard(&err)
-	eng, cache, err := core.NewParallelEngine(s, wmax, core.NewIncrementalSIEvaluator(groups, m), cfg)
+	cons, err := core.CompileSOCConstraints(s, groups)
+	if err != nil {
+		return nil, err
+	}
+	eng, cache, err := core.NewParallelEngine(s, wmax, core.NewIncrementalSIEvaluatorCons(groups, m, cons), cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -5,7 +5,7 @@
 //
 //	tamopt -soc d695 -w 16 -trace run.jsonl
 //	sitrace run.jsonl              # summary
-//	sitrace -check run.jsonl       # schema + span-balance validation only
+//	sitrace -check run.jsonl       # schema, span-balance and power-budget validation
 //	sitrace -curve run.jsonl       # convergence curve as CSV on stdout
 //
 // The input is read from the file argument, or stdin when the argument
@@ -47,6 +47,12 @@ func main() {
 		// Only -check enforces span balance: the summary stays usable
 		// on traces truncated by a killed process.
 		if err := obs.ValidateSpans(events); err != nil {
+			log.Fatal(err)
+		}
+		// Power-annotated schedules must stay within their budget at
+		// every instant; the check reconstructs the concurrency from the
+		// si_group_scheduled events alone.
+		if err := obs.ValidateSchedulePower(events); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("trace OK: %d events\n", len(events))

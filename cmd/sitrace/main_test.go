@@ -65,6 +65,34 @@ func TestCheckUnbalancedSpanFails(t *testing.T) {
 	}
 }
 
+// TestCheckPowerOverBudgetFails drives `sitrace -check` against a
+// trace whose two overlapping si_group_scheduled events sum past their
+// shared budget: per-event schema validation passes (each group alone
+// fits), but the cross-event power sweep must fail.
+func TestCheckPowerOverBudgetFails(t *testing.T) {
+	bin := buildSitrace(t)
+	trace := writeTrace(t, []obs.Event{
+		{Type: obs.SIGroupScheduled, Group: "SI1", Rails: 1, Begin: 0, End: 100, Power: 60, Budget: 100},
+		{Type: obs.SIGroupScheduled, Group: "SI2", Rails: 1, Begin: 50, End: 150, Power: 60, Budget: 100},
+	})
+	out, err := exec.Command(bin, "-check", trace).CombinedOutput()
+	if err == nil {
+		t.Fatalf("-check accepted a trace exceeding its power budget:\n%s", out)
+	}
+	if !strings.Contains(string(out), "exceeds budget") {
+		t.Fatalf("unexpected failure output: %s", out)
+	}
+
+	// Disjoint in time: same groups, no overlap, must pass.
+	trace = writeTrace(t, []obs.Event{
+		{Type: obs.SIGroupScheduled, Group: "SI1", Rails: 1, Begin: 0, End: 100, Power: 60, Budget: 100},
+		{Type: obs.SIGroupScheduled, Group: "SI2", Rails: 1, Begin: 100, End: 200, Power: 60, Budget: 100},
+	})
+	if out, err := exec.Command(bin, "-check", trace).CombinedOutput(); err != nil {
+		t.Fatalf("-check rejected a budget-respecting trace: %v\n%s", err, out)
+	}
+}
+
 // TestCheckBalancedTracePasses is the matching positive case.
 func TestCheckBalancedTracePasses(t *testing.T) {
 	bin := buildSitrace(t)

@@ -11,6 +11,7 @@
 //	socbench -quick               # reduced sweep for a fast smoke run
 //	socbench -markdown            # emit GitHub-flavored markdown
 //	socbench -ablation            # run the ablation sweeps instead
+//	socbench -scenarios 200       # constrained-scenario matrix instead
 //
 // The full sweep takes several minutes on a laptop-class machine; use
 // -v to watch progress. With -timeout, or on SIGINT/SIGTERM, the cells
@@ -42,6 +43,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "log per-cell progress to stderr")
 		seed     = flag.Int64("seed", 1, "random seed")
 		ablation = flag.Bool("ablation", false, "run ablation sweeps instead of the main tables")
+		nScen    = flag.Int("scenarios", 0, "run N seeded constrained-scheduling scenarios (seed, seed+1, ...) through the solve-and-check harness instead of the main tables")
 		coverage = flag.Bool("coverage", false, "run the SI fault coverage experiment instead of the main tables")
 		workers  = flag.Int("workers", 0, "concurrent candidate evaluations per optimization (0 = GOMAXPROCS, 1 = serial); table numbers are identical at any worker count")
 		timeout  = flag.Duration("timeout", 0, "deadline; on expiry the completed cells are printed and the exit code is 3 (0 = none)")
@@ -98,6 +100,16 @@ func main() {
 				exitPartial("ablation study stopped early")
 			}
 			log.Fatal(err)
+		}
+		return
+	}
+	if *nScen > 0 {
+		solved, err := runScenarioMatrix(ctx, os.Stdout, *seed, *nScen, *markdown)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if solved < *nScen {
+			exitPartial(fmt.Sprintf("%d of %d scenarios solved", solved, *nScen))
 		}
 		return
 	}

@@ -175,9 +175,14 @@ func run(ctx context.Context, o options) (partial bool, reason, cause string, er
 	case o.baseline:
 		res, err = trarchitect.OptimizeThenScheduleSIWith(ctx, s, o.wmax, grouping.Groups, model, o.cfg)
 	case o.ils > 0:
+		var cons *sischedule.Constraints
+		cons, err = core.CompileSOCConstraints(s, grouping.Groups)
+		if err != nil {
+			break
+		}
 		var eng *core.Engine
 		var cache *core.CachedEvaluator
-		eng, cache, err = core.NewParallelEngine(s, o.wmax, &core.SIEvaluator{Groups: grouping.Groups, Model: model}, o.cfg)
+		eng, cache, err = core.NewParallelEngine(s, o.wmax, &core.SIEvaluator{Groups: grouping.Groups, Model: model, Cons: cons}, o.cfg)
 		if err != nil {
 			break
 		}

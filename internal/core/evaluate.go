@@ -17,6 +17,7 @@ package core
 import (
 	"sitam/internal/obs"
 	"sitam/internal/sischedule"
+	"sitam/internal/soc"
 	"sitam/internal/tam"
 )
 
@@ -48,6 +49,11 @@ func (InTestEvaluator) Evaluate(a *tam.Architecture) (int64, error) {
 type SIEvaluator struct {
 	Groups []*sischedule.Group
 	Model  sischedule.Model
+
+	// Cons optionally constrains the schedule (power budget, precedence,
+	// exclusion). Nil scores with plain Algorithm 1, byte-identically to
+	// the pre-constraint evaluator.
+	Cons *sischedule.Constraints
 }
 
 // Evaluate implements Evaluator.
@@ -55,7 +61,7 @@ func (e *SIEvaluator) Evaluate(a *tam.Architecture) (int64, error) {
 	for _, r := range a.Rails {
 		a.RefreshTimeIn(r)
 	}
-	sched, err := sischedule.ScheduleSITest(a, e.Groups, e.Model)
+	sched, err := sischedule.ScheduleSITestCons(a, e.Groups, e.Model, e.Cons)
 	if err != nil {
 		return 0, err
 	}
@@ -101,7 +107,10 @@ type Breakdown struct {
 }
 
 // Evaluate computes the breakdown of an architecture under the given
-// groups and model, also refreshing the rails' bookkeeping.
+// groups and model, also refreshing the rails' bookkeeping. When the
+// SOC carries a Constraints stanza, the schedule honors it (see
+// CompileSOCConstraints); an unconstrained SOC takes the exact code
+// path it always did.
 func EvaluateBreakdown(a *tam.Architecture, groups []*sischedule.Group, m sischedule.Model) (Breakdown, *sischedule.Schedule, error) {
 	return EvaluateBreakdownObs(a, groups, m, nil)
 }
@@ -111,15 +120,36 @@ func EvaluateBreakdown(a *tam.Architecture, groups []*sischedule.Group, m sische
 // "si schedule" phase span whose Best carries T_soc — the endpoint of
 // the run's convergence curve.
 func EvaluateBreakdownObs(a *tam.Architecture, groups []*sischedule.Group, m sischedule.Model, sink obs.Sink) (Breakdown, *sischedule.Schedule, error) {
+	cons, err := CompileSOCConstraints(a.SOC, groups)
+	if err != nil {
+		return Breakdown{}, nil, err
+	}
+	return EvaluateBreakdownConsObs(a, groups, m, cons, sink)
+}
+
+// EvaluateBreakdownConsObs is EvaluateBreakdownObs with a pre-compiled
+// constraint set (nil = unconstrained), for callers that already hold
+// one and must not pay recompilation.
+func EvaluateBreakdownConsObs(a *tam.Architecture, groups []*sischedule.Group, m sischedule.Model, cons *sischedule.Constraints, sink obs.Sink) (Breakdown, *sischedule.Schedule, error) {
 	for _, r := range a.Rails {
 		a.RefreshTimeIn(r)
 	}
 	span := obs.Span(sink, "si schedule")
-	sched, err := sischedule.ScheduleSITestObs(a, groups, m, sink)
+	sched, err := sischedule.ScheduleSITestConsObs(a, groups, m, cons, sink)
 	if err != nil {
 		return Breakdown{}, nil, err
 	}
 	in := a.InTestTime()
 	span.End(in+sched.TotalSI, int64(len(groups)))
 	return Breakdown{TimeIn: in, TimeSI: sched.TotalSI, TimeSOC: in + sched.TotalSI}, sched, nil
+}
+
+// CompileSOCConstraints compiles the SOC's optional Constraints stanza
+// against a group list. SOCs without constraints (every embedded paper
+// fixture) compile to nil, keeping the unconstrained hot paths
+// untouched. This is the single funnel through which the engine, the
+// evaluators and the CLIs become constraint-aware: constraints travel
+// on the SOC, so no entry-point signature changes.
+func CompileSOCConstraints(s *soc.SOC, groups []*sischedule.Group) (*sischedule.Constraints, error) {
+	return sischedule.CompileConstraints(s, s.Constraints, groups)
 }

@@ -39,10 +39,19 @@ type IncrementalSIEvaluator struct {
 // NewIncrementalSIEvaluator builds an incremental evaluator over the
 // given groups and cost model.
 func NewIncrementalSIEvaluator(groups []*sischedule.Group, m sischedule.Model) *IncrementalSIEvaluator {
+	return NewIncrementalSIEvaluatorCons(groups, m, nil)
+}
+
+// NewIncrementalSIEvaluatorCons is NewIncrementalSIEvaluator under a
+// compiled constraint set (nil = unconstrained): the planner packs
+// groups under the same power/precedence/exclusion rules the final
+// scheduler enforces, so the optimizer's objective and the reported
+// schedule agree.
+func NewIncrementalSIEvaluatorCons(groups []*sischedule.Group, m sischedule.Model, cons *sischedule.Constraints) *IncrementalSIEvaluator {
 	return &IncrementalSIEvaluator{
 		Groups:  groups,
 		Model:   m,
-		planner: sischedule.NewPlanner(groups, m),
+		planner: sischedule.NewPlannerCons(groups, m, cons),
 	}
 }
 

@@ -278,7 +278,11 @@ func NewParallelEngine(s *soc.SOC, wmax int, eval Evaluator, cfg ParallelConfig)
 // additionally carries the cache statistics and metrics snapshot of
 // the run.
 func TAMOptimizationWith(ctx context.Context, s *soc.SOC, wmax int, groups []*sischedule.Group, m sischedule.Model, cfg ParallelConfig) (*Result, error) {
-	eng, cache, err := NewParallelEngine(s, wmax, NewIncrementalSIEvaluator(groups, m), cfg)
+	cons, err := CompileSOCConstraints(s, groups)
+	if err != nil {
+		return nil, err
+	}
+	eng, cache, err := NewParallelEngine(s, wmax, NewIncrementalSIEvaluatorCons(groups, m, cons), cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -273,7 +273,11 @@ func TAMOptimization(s *soc.SOC, wmax int, groups []*sischedule.Group, m sisched
 // nil error. Only when no valid architecture was produced at all does
 // the context's error come back.
 func TAMOptimizationCtx(ctx context.Context, s *soc.SOC, wmax int, groups []*sischedule.Group, m sischedule.Model) (*Result, error) {
-	eng, err := NewEngine(s, wmax, NewIncrementalSIEvaluator(groups, m))
+	cons, err := CompileSOCConstraints(s, groups)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := NewEngine(s, wmax, NewIncrementalSIEvaluatorCons(groups, m, cons))
 	if err != nil {
 		return nil, err
 	}
@@ -290,9 +294,18 @@ func TAMOptimizationCtx(ctx context.Context, s *soc.SOC, wmax int, groups []*sis
 // cache counters and metrics onto the result, and carries the anytime
 // status. Every entry point that produces a Result funnels through it.
 func (e *Engine) Finish(arch *tam.Architecture, st Status, groups []*sischedule.Group, m sischedule.Model, cache *CachedEvaluator) (*Result, error) {
-	bd, sched, err := EvaluateBreakdownObs(arch, groups, m, e.Trace)
+	cons, err := CompileSOCConstraints(arch.SOC, groups)
 	if err != nil {
 		return nil, err
+	}
+	bd, sched, err := EvaluateBreakdownConsObs(arch, groups, m, cons, e.Trace)
+	if err != nil {
+		return nil, err
+	}
+	if scheduleSelfCheck {
+		if err := selfCheckSchedule(arch, groups, sched, cons); err != nil {
+			return nil, fmt.Errorf("core: schedule self-check: %w", err)
+		}
 	}
 	res := &Result{
 		Architecture: arch, Breakdown: bd, Schedule: sched,

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"sitam/internal/sischedule"
+	"sitam/internal/tam"
+)
+
+// selfCheckSchedule revalidates an engine-assembled schedule from
+// first principles: structural invariants (Schedule.Validate), the
+// WOC-based power sweep (ValidatePower, when group powers are plain
+// WOC sums), and the compiled constraint set's own power, precedence
+// and exclusion checks. It is wired into Engine.Finish behind the
+// scheduleSelfCheck flag, which race-detector builds turn on — so
+// every optimization run in a `go test -race` CI pass validates its
+// final schedule, at zero cost to production binaries.
+func selfCheckSchedule(a *tam.Architecture, groups []*sischedule.Group, sched *sischedule.Schedule, cons *sischedule.Constraints) error {
+	if err := sched.Validate(); err != nil {
+		return err
+	}
+	if cons.WOCPower() {
+		var budget int64
+		if cons != nil {
+			budget = cons.PowerBudget
+		}
+		if err := sischedule.ValidatePower(a, sched, budget); err != nil {
+			return err
+		}
+	}
+	return cons.ValidateSchedule(groups, sched)
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// scheduleSelfCheck gates the final-schedule revalidation in
+// Engine.Finish. Off in normal builds; race-detector builds (CI runs
+// the test suite under -race) flip it on via selfcheck_race.go.
+const scheduleSelfCheck = false

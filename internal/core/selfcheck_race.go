@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// scheduleSelfCheck: race-detector builds revalidate every final
+// schedule in Engine.Finish (see selfcheck.go).
+const scheduleSelfCheck = true

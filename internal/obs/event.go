@@ -156,6 +156,13 @@ type Event struct {
 	Recomputed int `json:"recomputed,omitempty"`
 	Memoized   int `json:"memoized,omitempty"`
 
+	// Power is the scheduled group's test power and Budget the power
+	// ceiling it was scheduled under (SIGroupScheduled; both 0 on
+	// unconstrained runs). Carried on every event rather than once per
+	// trace so power validation survives truncated traces.
+	Power  int64 `json:"power,omitempty"`
+	Budget int64 `json:"budget,omitempty"`
+
 	// Cause is the interruption cause of a DeadlineHit: "deadline",
 	// "interrupted" or "budget".
 	Cause string `json:"cause,omitempty"`
@@ -196,6 +203,12 @@ func (e *Event) Validate() error {
 		}
 		if e.Rails < 1 {
 			return fmt.Errorf("obs: si_group_scheduled %q involves %d rails", e.Group, e.Rails)
+		}
+		if e.Power < 0 || e.Budget < 0 {
+			return fmt.Errorf("obs: si_group_scheduled %q with negative power %d or budget %d", e.Group, e.Power, e.Budget)
+		}
+		if e.Budget > 0 && e.Power > e.Budget {
+			return fmt.Errorf("obs: si_group_scheduled %q power %d exceeds its own budget %d", e.Group, e.Power, e.Budget)
 		}
 	case EvalIncremental:
 		if e.N < 0 || e.Recomputed < 0 || e.Memoized < 0 {
@@ -258,6 +271,37 @@ func ValidateSpans(events []Event) error {
 	if len(bad) > 0 {
 		sort.Strings(bad)
 		return fmt.Errorf("obs: unbalanced phase spans: %s", bad)
+	}
+	return nil
+}
+
+// ValidateSchedulePower sweeps the si_group_scheduled events of a
+// trace and checks that at no instant the summed power of overlapping
+// groups exceeds their declared budget. Events with budget 0
+// (unconstrained runs) are skipped; budgets are carried per event, so
+// the check is meaningful even on truncated traces. This is the trace
+// half of the ValidatePower invariant — sitrace -check runs it against
+// every trace, independent of the scheduler that produced it.
+func ValidateSchedulePower(events []Event) error {
+	var slots []Event
+	for i := range events {
+		e := &events[i]
+		if e.Type == SIGroupScheduled && e.Budget > 0 && e.End > e.Begin {
+			slots = append(slots, *e)
+		}
+	}
+	// Sweep the start boundaries (peaks only form at starts).
+	for _, probe := range slots {
+		var inUse int64
+		for _, s := range slots {
+			if s.Begin <= probe.Begin && probe.Begin < s.End {
+				inUse += s.Power
+			}
+		}
+		if inUse > probe.Budget {
+			return fmt.Errorf("obs: power %d in use at t=%d exceeds budget %d (group %q)",
+				inUse, probe.Begin, probe.Budget, probe.Group)
+		}
 	}
 	return nil
 }

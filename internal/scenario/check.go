@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"sitam/internal/sicheck"
+	"sitam/internal/sischedule"
+	"sitam/internal/tam"
+)
+
+// Instance restates the scenario as plain data for the independent
+// checker. The translation is deliberately mechanical — core WOCs,
+// rail specs, group membership and the raw core-level constraint
+// stanza — so the checker sees exactly what the generator produced,
+// not anything the scheduler derived.
+func (sc *Scenario) Instance() *sicheck.Instance {
+	return sc.InstanceForRails(sc.Rails)
+}
+
+// InstanceForRails is Instance with the architecture overridden — used
+// to validate schedules on optimizer-designed architectures rather
+// than the scenario's fixed rails.
+func (sc *Scenario) InstanceForRails(rails []RailSpec) *sicheck.Instance {
+	m := sc.Model()
+	inst := &sicheck.Instance{
+		WOC:      make(map[int]int, sc.SOC.NumCores()),
+		Bypass:   m.Bypass,
+		Overhead: m.Overhead,
+	}
+	for _, c := range sc.SOC.Cores() {
+		inst.WOC[c.ID] = c.WOC()
+	}
+	for _, r := range rails {
+		inst.Rails = append(inst.Rails, sicheck.Rail{Width: r.Width, Cores: append([]int(nil), r.Cores...)})
+	}
+	for _, g := range sc.Groups {
+		inst.Groups = append(inst.Groups, sicheck.Group{Name: g.Name, Cores: append([]int(nil), g.Cores...), Patterns: g.Patterns})
+	}
+	if cs := sc.SOC.Constraints; cs != nil {
+		inst.PowerBudget = cs.PowerBudget
+		if len(cs.CorePower) > 0 {
+			inst.CorePower = make(map[int]int64, len(cs.CorePower))
+			for id, p := range cs.CorePower {
+				inst.CorePower[id] = p
+			}
+		}
+		for _, pr := range cs.Precedences {
+			inst.Precedences = append(inst.Precedences, [2]int{pr.Before, pr.After})
+		}
+		for _, set := range cs.Exclusions {
+			inst.Exclusions = append(inst.Exclusions, append([]int(nil), set...))
+		}
+	}
+	return inst
+}
+
+// RailsOf restates an architecture's rails as RailSpecs, for
+// InstanceForRails.
+func RailsOf(a *tam.Architecture) []RailSpec {
+	out := make([]RailSpec, len(a.Rails))
+	for i, r := range a.Rails {
+		out[i] = RailSpec{Width: r.Width, Cores: append([]int(nil), r.Cores...)}
+	}
+	return out
+}
+
+// Slots restates a schedule for the checker.
+func Slots(s *sischedule.Schedule) []sicheck.Slot {
+	out := make([]sicheck.Slot, len(s.Slots))
+	for i, sl := range s.Slots {
+		out[i] = sicheck.Slot{Group: sl.Group.Name, Begin: sl.Begin, End: sl.End}
+	}
+	return out
+}

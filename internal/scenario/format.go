@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sitam/internal/sischedule"
+	"sitam/internal/soc"
+)
+
+// Write serializes a scenario as text: the scenario-specific lines
+// (seed, rails, groups) followed by the SOC in .soc format, whose
+// Constraints stanza carries the power/precedence/exclusion
+// annotations. The output is deterministic and Parse reads it back to
+// an equal scenario, so shrunk reproductions can be frozen under
+// testdata/ and replayed.
+func Write(w io.Writer, sc *Scenario) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# sitam scenario %s\n", sc.SOC.Name)
+	if sc.Seed != 0 {
+		fmt.Fprintf(bw, "ScenarioSeed %d\n", sc.Seed)
+	}
+	for _, r := range sc.Rails {
+		fmt.Fprintf(bw, "Rail %d :", r.Width)
+		for _, id := range r.Cores {
+			fmt.Fprintf(bw, " %d", id)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, g := range sc.Groups {
+		fmt.Fprintf(bw, "SIGroup %s %d :", g.Name, g.Patterns)
+		for _, id := range g.Cores {
+			fmt.Fprintf(bw, " %d", id)
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintln(bw)
+	if err := soc.Write(bw, sc.SOC); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Parse reads a scenario written by Write. Lines starting with
+// ScenarioSeed, Rail or SIGroup are scenario-specific; everything else
+// is handed to the .soc parser verbatim. The parsed scenario is
+// validated structurally before it is returned.
+func Parse(r io.Reader) (*Scenario, error) {
+	sc := &Scenario{}
+	var socText strings.Builder
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for scan.Scan() {
+		lineNo++
+		line := scan.Text()
+		f := strings.Fields(line)
+		if len(f) == 0 || !isScenarioKey(f[0]) {
+			socText.WriteString(line)
+			socText.WriteByte('\n')
+			continue
+		}
+		if err := sc.parseLine(f); err != nil {
+			return nil, fmt.Errorf("scenario: line %d: %w", lineNo, err)
+		}
+	}
+	if err := scan.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := soc.Parse(strings.NewReader(socText.String()))
+	if err != nil {
+		return nil, err
+	}
+	sc.SOC = s
+	if len(sc.Rails) == 0 {
+		return nil, fmt.Errorf("scenario: no Rail lines")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func isScenarioKey(key string) bool {
+	switch key {
+	case "ScenarioSeed", "Rail", "SIGroup":
+		return true
+	}
+	return false
+}
+
+func (sc *Scenario) parseLine(f []string) error {
+	switch f[0] {
+	case "ScenarioSeed":
+		if len(f) != 2 {
+			return fmt.Errorf("ScenarioSeed wants 1 argument, got %d", len(f)-1)
+		}
+		seed, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("ScenarioSeed: %w", err)
+		}
+		sc.Seed = seed
+	case "Rail":
+		if len(f) < 4 || f[2] != ":" {
+			return fmt.Errorf("Rail wants \"Rail <width> : <core>...\"")
+		}
+		width, err := strconv.Atoi(f[1])
+		if err != nil || width <= 0 {
+			return fmt.Errorf("Rail: bad width %q", f[1])
+		}
+		cores, err := parseIDs(f[3:])
+		if err != nil {
+			return fmt.Errorf("Rail: %w", err)
+		}
+		sc.Rails = append(sc.Rails, RailSpec{Width: width, Cores: cores})
+	case "SIGroup":
+		if len(f) < 5 || f[3] != ":" {
+			return fmt.Errorf("SIGroup wants \"SIGroup <name> <patterns> : <core>...\"")
+		}
+		patterns, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil || patterns < 0 {
+			return fmt.Errorf("SIGroup: bad pattern count %q", f[2])
+		}
+		cores, err := parseIDs(f[4:])
+		if err != nil {
+			return fmt.Errorf("SIGroup: %w", err)
+		}
+		sc.Groups = append(sc.Groups, &sischedule.Group{Name: f[1], Cores: cores, Patterns: patterns})
+	}
+	return nil
+}
+
+func parseIDs(f []string) ([]int, error) {
+	out := make([]int, len(f))
+	for i, s := range f {
+		id, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad core ID %q", s)
+		}
+		out[i] = id
+	}
+	return out, nil
+}

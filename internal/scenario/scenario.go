@@ -1,0 +1,350 @@
+// Package scenario generates randomized constrained-scheduling
+// instances for the differential test harness: 100-1000-core SOCs with
+// power/precedence/exclusion annotations, a TestRail architecture and
+// an SI test-group set, all derived deterministically from one seed.
+//
+// Every generated scenario is feasible by construction, with the
+// serial schedule in group-index order as the witness:
+//
+//   - The power budget, when set, is at least the largest single group
+//     power, so any one group can always run alone.
+//   - Precedence edges Precede(b, a) are only emitted when every group
+//     involving core b has a strictly smaller group index than every
+//     group involving core a, so the core-level relation lifts to a
+//     group order that the identity permutation satisfies — lifted
+//     cycles are impossible.
+//   - Exclusions never threaten feasibility (serial application
+//     satisfies any exclusion set).
+//
+// The package deliberately knows nothing about how the schedulers
+// enforce constraints: it emits plain SOC/constraint/group data. The
+// matching independent validator lives in internal/sicheck, which
+// shares no code with internal/sischedule (see DESIGN.md).
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sitam/internal/sischedule"
+	"sitam/internal/soc"
+	"sitam/internal/tam"
+	"sitam/internal/wrapper"
+)
+
+// RailSpec is one TestRail of a scenario's fixed architecture: a width
+// and the IDs of the cores it hosts. Every core of the SOC appears on
+// exactly one rail.
+type RailSpec struct {
+	Width int
+	Cores []int
+}
+
+// Scenario is one generated constrained-scheduling instance.
+type Scenario struct {
+	// Seed reproduces the scenario via Generate(Seed) (zero for
+	// scenarios read from a file that omits the seed, e.g. shrunk
+	// repros edited by hand).
+	Seed int64
+
+	// SOC carries the cores and, in Constraints, the power budget,
+	// per-core power overrides, precedence and exclusion sets.
+	SOC *soc.SOC
+
+	// Rails is the fixed TestRail architecture the groups are
+	// scheduled on.
+	Rails []RailSpec
+
+	// Groups are the SI test groups, in witness order: the serial
+	// schedule applying them in slice order is feasible.
+	Groups []*sischedule.Group
+}
+
+// Config bounds the generator's random choices. The zero value selects
+// the defaults noted per field.
+type Config struct {
+	// MinCores and MaxCores bound the core count (defaults 100, 1000).
+	MinCores, MaxCores int
+
+	// MaxGroups caps the group count (default: cores, i.e. ~1 group
+	// per core on average).
+	MaxGroups int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinCores <= 0 {
+		c.MinCores = 100
+	}
+	if c.MaxCores < c.MinCores {
+		c.MaxCores = 1000
+		if c.MaxCores < c.MinCores {
+			c.MaxCores = c.MinCores
+		}
+	}
+	return c
+}
+
+// Generate builds the default-range scenario of a seed: 100-1000 cores,
+// randomized rails, groups and constraint stanza.
+func Generate(seed int64) *Scenario {
+	return GenerateConfig(Config{}, seed)
+}
+
+// GenerateConfig is Generate under explicit bounds. The same (cfg,
+// seed) pair always yields the same scenario, byte for byte.
+func GenerateConfig(cfg Config, seed int64) *Scenario {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+
+	nCores := cfg.MinCores + rng.Intn(cfg.MaxCores-cfg.MinCores+1)
+	s := &soc.SOC{Name: fmt.Sprintf("sc%05d", seed), BusWidth: 32}
+	for id := 1; id <= nCores; id++ {
+		c := &soc.Core{
+			ID:      id,
+			Inputs:  4 + rng.Intn(37),
+			Outputs: 4 + rng.Intn(37),
+			Bidirs:  rng.Intn(5),
+		}
+		for k := rng.Intn(4); k > 0; k-- {
+			c.ScanChains = append(c.ScanChains, 5+rng.Intn(96))
+		}
+		c.Patterns = 5 + rng.Intn(196)
+		s.CoreList = append(s.CoreList, c)
+	}
+
+	// Rails: shuffle the cores and deal them round-robin.
+	nRails := 8 + rng.Intn(17)
+	if nRails > nCores {
+		nRails = nCores
+	}
+	rails := make([]RailSpec, nRails)
+	for i := range rails {
+		rails[i].Width = 4 + rng.Intn(29)
+	}
+	for i, pi := range rng.Perm(nCores) {
+		ri := i % nRails
+		rails[ri].Cores = append(rails[ri].Cores, s.CoreList[pi].ID)
+	}
+	for i := range rails {
+		sort.Ints(rails[i].Cores)
+	}
+
+	// Groups over sliding windows of the ID space: group j draws its
+	// cores from a window starting near j*nCores/nGroups, so a core's
+	// group memberships cluster around one index — the precondition
+	// that makes precedence edges plentiful below.
+	maxGroups := cfg.MaxGroups
+	if maxGroups <= 0 {
+		maxGroups = nCores
+	}
+	nGroups := nCores/3 + rng.Intn(nCores-nCores/3+1)
+	if nGroups > maxGroups {
+		nGroups = maxGroups
+	}
+	if nGroups < 1 {
+		nGroups = 1
+	}
+	groups := make([]*sischedule.Group, nGroups)
+	// minG[id] and maxG[id] bracket the group indices involving core id.
+	minG := make(map[int]int, nCores)
+	maxG := make(map[int]int, nCores)
+	for j := range groups {
+		start := j * nCores / nGroups
+		width := 12
+		if width > nCores {
+			width = nCores
+		}
+		want := 2 + rng.Intn(5)
+		seen := make(map[int]bool, want)
+		var cores []int
+		for len(cores) < want {
+			id := 1 + (start+rng.Intn(width))%nCores
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			cores = append(cores, id)
+			if _, ok := minG[id]; !ok {
+				minG[id] = j
+			}
+			maxG[id] = j
+		}
+		sort.Ints(cores)
+		patterns := int64(1 + rng.Intn(60))
+		if rng.Intn(16) == 0 {
+			patterns = 0 // exercise the zero-duration exemption
+		}
+		groups[j] = &sischedule.Group{Name: fmt.Sprintf("SI%d", j+1), Cores: cores, Patterns: patterns}
+	}
+
+	cs := &soc.ConstraintSet{}
+
+	// Per-core power overrides (3 of 4 scenarios; the rest fall back
+	// to the WOC default so both power models are swept).
+	if rng.Intn(4) != 0 {
+		cs.CorePower = make(map[int]int64, nCores)
+		for _, c := range s.CoreList {
+			cs.CorePower[c.ID] = int64(1 + rng.Intn(20))
+		}
+	}
+
+	// Budget: at least the largest group power (the feasibility
+	// witness needs every group to fit alone), at most twice it so
+	// the cap actually limits concurrency. 1 in 8 scenarios runs
+	// uncapped.
+	if rng.Intn(8) != 0 {
+		var pmax int64
+		for _, g := range groups {
+			var p int64
+			for _, id := range g.Cores {
+				p += cs.PowerOf(s.CoreByID(id))
+			}
+			if p > pmax {
+				pmax = p
+			}
+		}
+		cs.PowerBudget = pmax + rng.Int63n(pmax+1)
+	}
+
+	// Precedence edges: only Precede(b, a) with maxG[b] < minG[a], so
+	// every lifted edge points from a lower group index to a higher
+	// one and the identity order is a topological witness.
+	target := nCores / 4
+	if target > 150 {
+		target = 150
+	}
+	edge := make(map[soc.Precedence]bool)
+	for try := 0; try < 4*target && len(cs.Precedences) < target; try++ {
+		b := 1 + rng.Intn(nCores)
+		a := 1 + rng.Intn(nCores)
+		mb, okb := maxG[b]
+		na, oka := minG[a]
+		if !okb || !oka || mb >= na {
+			continue
+		}
+		pr := soc.Precedence{Before: b, After: a}
+		if edge[pr] {
+			continue
+		}
+		edge[pr] = true
+		cs.Precedences = append(cs.Precedences, pr)
+	}
+
+	// Exclusion sets of 2-4 group-covered cores.
+	covered := make([]int, 0, len(minG))
+	for id := range minG {
+		covered = append(covered, id)
+	}
+	sort.Ints(covered)
+	for k := rng.Intn(1 + nCores/50); k > 0; k-- {
+		want := 2 + rng.Intn(3)
+		if want > len(covered) {
+			break
+		}
+		seen := make(map[int]bool, want)
+		var set []int
+		for len(set) < want {
+			id := covered[rng.Intn(len(covered))]
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			set = append(set, id)
+		}
+		sort.Ints(set)
+		cs.Exclusions = append(cs.Exclusions, set)
+	}
+
+	if !cs.Empty() {
+		s.Constraints = cs
+	}
+	return &Scenario{Seed: seed, SOC: s, Rails: rails, Groups: groups}
+}
+
+// Architecture builds the scenario's fixed TestRail architecture.
+func (sc *Scenario) Architecture() (*tam.Architecture, error) {
+	maxWidth := 1
+	for _, r := range sc.Rails {
+		if r.Width > maxWidth {
+			maxWidth = r.Width
+		}
+	}
+	tt, err := wrapper.NewTimeTable(sc.SOC, maxWidth)
+	if err != nil {
+		return nil, err
+	}
+	a := tam.New(sc.SOC, tt)
+	for _, r := range sc.Rails {
+		a.AddRail(r.Cores, r.Width)
+	}
+	return a, nil
+}
+
+// Model returns the cost model scenarios are scheduled under.
+func (sc *Scenario) Model() sischedule.Model { return sischedule.DefaultModel() }
+
+// Validate reports the first structural problem with the scenario:
+// an invalid SOC or constraint set, a rail with a non-positive width
+// or unknown core, a core on zero or several rails, or a group
+// referencing an unknown core.
+func (sc *Scenario) Validate() error {
+	if err := sc.SOC.Validate(); err != nil {
+		return err
+	}
+	onRail := make(map[int]int)
+	for i, r := range sc.Rails {
+		if r.Width <= 0 {
+			return fmt.Errorf("scenario: rail %d has width %d", i, r.Width)
+		}
+		for _, id := range r.Cores {
+			if sc.SOC.CoreByID(id) == nil {
+				return fmt.Errorf("scenario: rail %d hosts unknown core %d", i, id)
+			}
+			onRail[id]++
+		}
+	}
+	for _, c := range sc.SOC.Cores() {
+		if onRail[c.ID] != 1 {
+			return fmt.Errorf("scenario: core %d is on %d rails", c.ID, onRail[c.ID])
+		}
+	}
+	for _, g := range sc.Groups {
+		if len(g.Cores) == 0 {
+			return fmt.Errorf("scenario: group %q has no cores", g.Name)
+		}
+		for _, id := range g.Cores {
+			if sc.SOC.CoreByID(id) == nil {
+				return fmt.Errorf("scenario: group %q involves unknown core %d", g.Name, id)
+			}
+		}
+		if g.Patterns < 0 {
+			return fmt.Errorf("scenario: group %q has negative pattern count", g.Name)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the scenario.
+func (sc *Scenario) Clone() *Scenario {
+	out := &Scenario{Seed: sc.Seed}
+	cp := *sc.SOC
+	cp.CoreList = make([]*soc.Core, len(sc.SOC.CoreList))
+	for i, c := range sc.SOC.CoreList {
+		cc := *c
+		cc.ScanChains = append([]int(nil), c.ScanChains...)
+		cc.Tests = append([]soc.CoreTest(nil), c.Tests...)
+		cp.CoreList[i] = &cc
+	}
+	cp.Constraints = sc.SOC.Constraints.Clone()
+	out.SOC = &cp
+	out.Rails = make([]RailSpec, len(sc.Rails))
+	for i, r := range sc.Rails {
+		out.Rails[i] = RailSpec{Width: r.Width, Cores: append([]int(nil), r.Cores...)}
+	}
+	out.Groups = make([]*sischedule.Group, len(sc.Groups))
+	for i, g := range sc.Groups {
+		out.Groups[i] = g.Clone()
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"sitam/internal/sicheck"
+)
+
+// TestGenerateDeterministic pins the chaos-determinism contract: the
+// same seed yields byte-identical scenarios across two independent
+// generator runs.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 99991} {
+		var a, b bytes.Buffer
+		if err := Write(&a, Generate(seed)); err != nil {
+			t.Fatal(err)
+		}
+		if err := Write(&b, Generate(seed)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("seed %d: two generator runs produced different bytes", seed)
+		}
+	}
+}
+
+// TestGenerateValid checks structural validity and the documented
+// ranges over a spread of seeds.
+func TestGenerateValid(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		sc := Generate(seed)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if n := sc.SOC.NumCores(); n < 100 || n > 1000 {
+			t.Fatalf("seed %d: %d cores outside [100, 1000]", seed, n)
+		}
+		if len(sc.Groups) == 0 {
+			t.Fatalf("seed %d: no groups", seed)
+		}
+	}
+}
+
+// TestWitnessFeasible verifies the generator's known-feasibility
+// claim with the independent checker: the serial schedule in
+// group-index order satisfies every constraint of every scenario.
+func TestWitnessFeasible(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		sc := Generate(seed)
+		inst := sc.Instance()
+		var slots []sicheck.Slot
+		var now int64
+		for gi := range inst.Groups {
+			d := inst.Duration(&inst.Groups[gi])
+			if d == 0 {
+				slots = append(slots, sicheck.Slot{Group: inst.Groups[gi].Name})
+				continue
+			}
+			slots = append(slots, sicheck.Slot{Group: inst.Groups[gi].Name, Begin: now, End: now + d})
+			now += d
+		}
+		if err := inst.Check(slots, now); err != nil {
+			t.Fatalf("seed %d: serial witness rejected: %v", seed, err)
+		}
+	}
+}
+
+// TestFormatRoundTrip: Write -> Parse -> Write is a fixed point.
+func TestFormatRoundTrip(t *testing.T) {
+	for _, seed := range []int64{3, 1234} {
+		sc := Generate(seed)
+		var a bytes.Buffer
+		if err := Write(&a, sc); err != nil {
+			t.Fatal(err)
+		}
+		sc2, err := Parse(bytes.NewReader(a.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var b bytes.Buffer
+		if err := Write(&b, sc2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("seed %d: roundtrip changed the bytes", seed)
+		}
+		if sc2.Seed != sc.Seed || len(sc2.Groups) != len(sc.Groups) || len(sc2.Rails) != len(sc.Rails) {
+			t.Fatalf("seed %d: roundtrip changed the shape", seed)
+		}
+	}
+}
+
+// TestParseRejectsBroken covers the parser's error paths.
+func TestParseRejectsBroken(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"no rails", "SocName x\nModule 1\n  Inputs 2\n  Outputs 2\n  Patterns 1\n"},
+		{"bad rail width", "Rail zero : 1\nSocName x\nModule 1\n  Inputs 2\n  Outputs 2\n  Patterns 1\n"},
+		{"rail unknown core", "Rail 4 : 7\nSocName x\nModule 1\n  Inputs 2\n  Outputs 2\n  Patterns 1\n"},
+		{"group unknown core", "Rail 4 : 1\nSIGroup SI1 5 : 9\nSocName x\nModule 1\n  Inputs 2\n  Outputs 2\n  Patterns 1\n"},
+		{"group negative patterns", "Rail 4 : 1\nSIGroup SI1 -2 : 1\nSocName x\nModule 1\n  Inputs 2\n  Outputs 2\n  Patterns 1\n"},
+		{"seed garbage", "ScenarioSeed x\nRail 4 : 1\nSocName x\nModule 1\n  Inputs 2\n  Outputs 2\n  Patterns 1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(bytes.NewReader([]byte(tc.text))); err == nil {
+				t.Fatal("broken scenario accepted")
+			}
+		})
+	}
+}
+
+// TestShrinkMinimizes drives the shrinker with a checker-style
+// predicate: the scheduler's output, corrupted by stretching one slot,
+// must be rejected by the independent checker. That stays true as long
+// as one nonzero-duration group remains, so the shrinker should reduce
+// a several-hundred-core scenario to a handful of cores.
+func TestShrinkMinimizes(t *testing.T) {
+	fails := func(sc *Scenario) bool {
+		if sc.Validate() != nil {
+			return false
+		}
+		sched, err := Solve(sc)
+		if err != nil {
+			return false
+		}
+		slots := Slots(sched)
+		corrupted := false
+		for i := range slots {
+			if slots[i].End > slots[i].Begin {
+				slots[i].End++
+				corrupted = true
+				break
+			}
+		}
+		if !corrupted {
+			return false
+		}
+		return sc.Instance().Check(slots, sched.TotalSI) != nil
+	}
+	sc := GenerateConfig(Config{MinCores: 100, MaxCores: 160}, 5)
+	if !fails(sc) {
+		t.Fatal("seed scenario does not exhibit the failure")
+	}
+	small := Shrink(sc, fails)
+	if !fails(small) {
+		t.Fatal("shrunk scenario lost the failure")
+	}
+	if got := len(small.Groups); got > 2 {
+		t.Fatalf("shrink left %d groups, want <= 2", got)
+	}
+	if got := small.SOC.NumCores(); got > 12 {
+		t.Fatalf("shrink left %d cores, want <= 12", got)
+	}
+	if err := small.Validate(); err != nil {
+		t.Fatalf("shrunk scenario invalid: %v", err)
+	}
+}

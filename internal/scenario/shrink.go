@@ -1,0 +1,167 @@
+package scenario
+
+import "sitam/internal/soc"
+
+// Shrink minimizes a failing scenario: fails must report true on sc
+// (the failure being minimized) and Shrink greedily removes groups,
+// precedence edges, exclusion sets, the power budget, power overrides
+// and finally unreferenced cores, keeping each removal only while
+// fails stays true. The result is a (locally) minimal reproduction to
+// freeze under testdata/. fails must be a pure predicate: it is called
+// many times on candidate scenarios.
+func Shrink(sc *Scenario, fails func(*Scenario) bool) *Scenario {
+	cur := sc.Clone()
+	for progress := true; progress; {
+		progress = false
+		// Groups first — dropping a group shrinks everything downstream
+		// (powers, lifted edges, exclusion pairs). Chunked ddmin: halves
+		// first, then single groups.
+		for chunk := (len(cur.Groups) + 1) / 2; chunk >= 1; chunk /= 2 {
+			for at := 0; at+chunk <= len(cur.Groups); {
+				cand := cur.Clone()
+				cand.Groups = append(cand.Groups[:at], cand.Groups[at+chunk:]...)
+				if fails(cand) {
+					cur = cand
+					progress = true
+				} else {
+					at += chunk
+				}
+			}
+		}
+		for at := 0; at < lenPrecedences(cur); {
+			cand := cur.Clone()
+			cs := cand.SOC.Constraints
+			cs.Precedences = append(cs.Precedences[:at], cs.Precedences[at+1:]...)
+			normalize(cand)
+			if fails(cand) {
+				cur = cand
+				progress = true
+			} else {
+				at++
+			}
+		}
+		for at := 0; at < lenExclusions(cur); {
+			cand := cur.Clone()
+			cs := cand.SOC.Constraints
+			cs.Exclusions = append(cs.Exclusions[:at], cs.Exclusions[at+1:]...)
+			normalize(cand)
+			if fails(cand) {
+				cur = cand
+				progress = true
+			} else {
+				at++
+			}
+		}
+		if cur.SOC.Constraints != nil && cur.SOC.Constraints.PowerBudget > 0 {
+			cand := cur.Clone()
+			cand.SOC.Constraints.PowerBudget = 0
+			normalize(cand)
+			if fails(cand) {
+				cur = cand
+				progress = true
+			}
+		}
+		if cur.SOC.Constraints != nil && len(cur.SOC.Constraints.CorePower) > 0 {
+			cand := cur.Clone()
+			cand.SOC.Constraints.CorePower = nil
+			normalize(cand)
+			if fails(cand) {
+				cur = cand
+				progress = true
+			}
+		}
+		if cand := dropUnreferencedCores(cur); cand != nil && fails(cand) {
+			cur = cand
+			progress = true
+		}
+	}
+	return cur
+}
+
+// lenPrecedences and lenExclusions are nil-safe loop bounds: shrinking
+// can null out the whole constraint set mid-pass.
+func lenPrecedences(sc *Scenario) int {
+	if sc.SOC.Constraints == nil {
+		return 0
+	}
+	return len(sc.SOC.Constraints.Precedences)
+}
+
+func lenExclusions(sc *Scenario) int {
+	if sc.SOC.Constraints == nil {
+		return 0
+	}
+	return len(sc.SOC.Constraints.Exclusions)
+}
+
+// normalize drops a constraint set that shrank to empty, restoring the
+// nil-means-unconstrained convention.
+func normalize(sc *Scenario) {
+	if sc.SOC.Constraints.Empty() {
+		sc.SOC.Constraints = nil
+	}
+}
+
+// dropUnreferencedCores removes cores that no group, precedence edge
+// or exclusion set mentions (trimming CorePower overrides with them),
+// and prunes newly empty rails. Returns nil when nothing is removable
+// (at least one core must remain).
+func dropUnreferencedCores(sc *Scenario) *Scenario {
+	used := make(map[int]bool)
+	for _, g := range sc.Groups {
+		for _, id := range g.Cores {
+			used[id] = true
+		}
+	}
+	if cs := sc.SOC.Constraints; cs != nil {
+		for _, pr := range cs.Precedences {
+			used[pr.Before] = true
+			used[pr.After] = true
+		}
+		for _, set := range cs.Exclusions {
+			for _, id := range set {
+				used[id] = true
+			}
+		}
+	}
+	keep := make([]*soc.Core, 0, len(sc.SOC.CoreList))
+	for _, c := range sc.SOC.CoreList {
+		if used[c.ID] {
+			keep = append(keep, c)
+		}
+	}
+	if len(keep) == len(sc.SOC.CoreList) || len(keep) == 0 {
+		return nil
+	}
+	cand := sc.Clone()
+	kept := make([]*soc.Core, 0, len(keep))
+	for _, c := range cand.SOC.CoreList {
+		if used[c.ID] {
+			kept = append(kept, c)
+		}
+	}
+	cand.SOC.CoreList = kept
+	if cs := cand.SOC.Constraints; cs != nil && cs.CorePower != nil {
+		for id := range cs.CorePower {
+			if !used[id] {
+				delete(cs.CorePower, id)
+			}
+		}
+	}
+	rails := cand.Rails[:0]
+	for _, r := range cand.Rails {
+		cores := r.Cores[:0]
+		for _, id := range r.Cores {
+			if used[id] {
+				cores = append(cores, id)
+			}
+		}
+		r.Cores = cores
+		if len(r.Cores) > 0 {
+			rails = append(rails, r)
+		}
+	}
+	cand.Rails = rails
+	normalize(cand)
+	return cand
+}

@@ -383,7 +383,12 @@ func (j *Job) run(ctx context.Context, hooks bool, maxJobWorkers int) (*Outcome,
 	case "baseline":
 		res, err = trarchitect.OptimizeThenScheduleSIWith(ctx, s, req.Wmax, grouping.Groups, model, cfg)
 	case "ils":
-		eng, cache, eerr := core.NewParallelEngine(s, req.Wmax, core.NewIncrementalSIEvaluator(grouping.Groups, model), cfg)
+		cons, cerr := core.CompileSOCConstraints(s, grouping.Groups)
+		if cerr != nil {
+			err = cerr
+			break
+		}
+		eng, cache, eerr := core.NewParallelEngine(s, req.Wmax, core.NewIncrementalSIEvaluatorCons(grouping.Groups, model, cons), cfg)
 		if eerr != nil {
 			err = eerr
 			break

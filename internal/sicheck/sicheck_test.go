@@ -1,0 +1,207 @@
+package sicheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// testInstance: two rails, three groups. Group A (core 1, rail 0) and
+// group B (core 2, rail 1) are rail-disjoint; group C (cores 1 and 2)
+// spans both rails. WOC 8 everywhere, width 4, Bypass 1, Overhead 3.
+// Per-pattern costs: A on rail 0: ceil(8/4) + 1 bypass (core 3) + 3 =
+// 6; 10 patterns = 60 cycles.
+func testInstance() *Instance {
+	return &Instance{
+		WOC: map[int]int{1: 8, 2: 8, 3: 8, 4: 8},
+		Rails: []Rail{
+			{Width: 4, Cores: []int{1, 3}},
+			{Width: 4, Cores: []int{2, 4}},
+		},
+		Groups: []Group{
+			{Name: "A", Cores: []int{1}, Patterns: 10},
+			{Name: "B", Cores: []int{2}, Patterns: 10},
+			{Name: "C", Cores: []int{1, 2}, Patterns: 10},
+		},
+		Bypass:   1,
+		Overhead: 3,
+	}
+}
+
+func TestCheckAcceptsLegalSchedule(t *testing.T) {
+	inst := testInstance()
+	// A and B in parallel (disjoint rails), then C on both rails.
+	slots := []Slot{
+		{Group: "A", Begin: 0, End: 60},
+		{Group: "B", Begin: 0, End: 60},
+		{Group: "C", Begin: 60, End: 120},
+	}
+	if err := inst.Check(slots, 120); err != nil {
+		t.Fatalf("legal schedule rejected: %v", err)
+	}
+}
+
+func TestCheckRejectsBrokenSchedules(t *testing.T) {
+	cases := []struct {
+		name  string
+		tweak func(inst *Instance) ([]Slot, int64)
+		want  string
+	}{
+		{
+			name: "rail overlap",
+			tweak: func(inst *Instance) ([]Slot, int64) {
+				// C overlaps A on rail 0.
+				return []Slot{
+					{Group: "A", Begin: 0, End: 60},
+					{Group: "B", Begin: 120, End: 180},
+					{Group: "C", Begin: 30, End: 90},
+				}, 180
+			},
+			want: "overlap on rail",
+		},
+		{
+			name: "wrong duration",
+			tweak: func(inst *Instance) ([]Slot, int64) {
+				return []Slot{
+					{Group: "A", Begin: 0, End: 59},
+					{Group: "B", Begin: 0, End: 60},
+					{Group: "C", Begin: 60, End: 120},
+				}, 120
+			},
+			want: "cost model says",
+		},
+		{
+			name: "power over budget",
+			tweak: func(inst *Instance) ([]Slot, int64) {
+				// A and B overlap: 8 + 8 > 15.
+				inst.PowerBudget = 15
+				return []Slot{
+					{Group: "A", Begin: 0, End: 60},
+					{Group: "B", Begin: 0, End: 60},
+					{Group: "C", Begin: 60, End: 120},
+				}, 120
+			},
+			want: "exceeds budget",
+		},
+		{
+			name: "power override over budget",
+			tweak: func(inst *Instance) ([]Slot, int64) {
+				// Overrides push the same overlap to 30+30 > 40.
+				inst.PowerBudget = 40
+				inst.CorePower = map[int]int64{1: 30, 2: 30}
+				return []Slot{
+					{Group: "A", Begin: 0, End: 60},
+					{Group: "B", Begin: 0, End: 60},
+					{Group: "C", Begin: 60, End: 120},
+				}, 120
+			},
+			want: "exceeds budget",
+		},
+		{
+			name: "precedence violated",
+			tweak: func(inst *Instance) ([]Slot, int64) {
+				// Core 2's groups must precede core 1's: B before A, and
+				// C (contains both) is exempt.
+				inst.Precedences = [][2]int{{2, 1}}
+				return []Slot{
+					{Group: "A", Begin: 0, End: 60},
+					{Group: "B", Begin: 0, End: 60},
+					{Group: "C", Begin: 60, End: 120},
+				}, 120
+			},
+			want: "Precede 2 1 violated",
+		},
+		{
+			name: "exclusion violated",
+			tweak: func(inst *Instance) ([]Slot, int64) {
+				inst.Exclusions = [][]int{{1, 2}}
+				return []Slot{
+					{Group: "A", Begin: 0, End: 60},
+					{Group: "B", Begin: 0, End: 60},
+					{Group: "C", Begin: 60, End: 120},
+				}, 120
+			},
+			want: "Exclude [1 2] violated",
+		},
+		{
+			name: "wrong makespan",
+			tweak: func(inst *Instance) ([]Slot, int64) {
+				return []Slot{
+					{Group: "A", Begin: 0, End: 60},
+					{Group: "B", Begin: 0, End: 60},
+					{Group: "C", Begin: 60, End: 120},
+				}, 110
+			},
+			want: "claimed makespan",
+		},
+		{
+			name: "missing group",
+			tweak: func(inst *Instance) ([]Slot, int64) {
+				return []Slot{
+					{Group: "A", Begin: 0, End: 60},
+					{Group: "B", Begin: 0, End: 60},
+				}, 60
+			},
+			want: "not scheduled",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inst := testInstance()
+			slots, total := tc.tweak(inst)
+			err := inst.Check(slots, total)
+			if err == nil {
+				t.Fatalf("broken schedule accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestPrecedenceBothEndpointExempt pins the exemption rule: a group
+// containing both cores of an edge satisfies it internally and must
+// not be reported against either side.
+func TestPrecedenceBothEndpointExempt(t *testing.T) {
+	inst := testInstance()
+	inst.Precedences = [][2]int{{1, 2}}
+	// C contains cores 1 and 2; it must be allowed to run before,
+	// after, or across anything. A (core 1) must still precede B
+	// (core 2): here A ends at 60, B starts at 60 — legal.
+	slots := []Slot{
+		{Group: "A", Begin: 0, End: 60},
+		{Group: "B", Begin: 60, End: 120},
+		{Group: "C", Begin: 120, End: 180},
+	}
+	if err := inst.Check(slots, 180); err != nil {
+		t.Fatalf("exempt schedule rejected: %v", err)
+	}
+	// Flip A and B: now the edge is violated.
+	slots = []Slot{
+		{Group: "B", Begin: 0, End: 60},
+		{Group: "A", Begin: 60, End: 120},
+		{Group: "C", Begin: 120, End: 180},
+	}
+	if err := inst.Check(slots, 180); err == nil {
+		t.Fatal("violated precedence accepted")
+	}
+}
+
+// TestZeroDurationExempt pins the zero-duration exemption: a
+// zero-pattern group occupies nothing and is exempt from rail, power,
+// precedence and exclusion checks.
+func TestZeroDurationExempt(t *testing.T) {
+	inst := testInstance()
+	inst.Groups[2].Patterns = 0 // C takes zero time
+	inst.PowerBudget = 16
+	inst.Precedences = [][2]int{{2, 1}} // would order C after B if not exempt
+	inst.Exclusions = [][]int{{1, 2}}   // would forbid C overlapping A/B
+	slots := []Slot{
+		{Group: "B", Begin: 0, End: 60},
+		{Group: "A", Begin: 60, End: 120},
+		{Group: "C", Begin: 0, End: 0},
+	}
+	if err := inst.Check(slots, 120); err != nil {
+		t.Fatalf("zero-duration slot not exempt: %v", err)
+	}
+}

@@ -73,6 +73,7 @@ type CostStats struct {
 type Planner struct {
 	groups []*Group
 	model  Model
+	cons   *Constraints
 
 	initOnce sync.Once
 	initErr  error
@@ -88,7 +89,17 @@ type Planner struct {
 // per-core metadata is derived lazily from the first architecture's
 // SOC; all architectures passed to Cost must share that SOC.
 func NewPlanner(groups []*Group, m Model) *Planner {
-	p := &Planner{groups: groups, model: m}
+	return NewPlannerCons(groups, m, nil)
+}
+
+// NewPlannerCons is NewPlanner under a compiled constraint set: Cost
+// packs with the constrained Algorithm 1 (power, precedence,
+// exclusion), matching ScheduleSITestCons's TotalSI exactly. The rail
+// cost memo is unaffected — constraints only shape the packing, never
+// a rail's per-pattern cost. A nil cons is byte-identical to
+// NewPlanner.
+func NewPlannerCons(groups []*Group, m Model, cons *Constraints) *Planner {
+	p := &Planner{groups: groups, model: m, cons: cons}
 	p.memo.Store(new(sync.Map))
 	p.scratch.New = func() any {
 		return &costScratch{perGroup: make([][]railContrib, len(groups))}
@@ -133,6 +144,11 @@ type costScratch struct {
 	busy   []bool
 	queue  []int32
 	active []activeRun
+
+	// Constrained packing state (indexed by group; used only when the
+	// planner carries constraints). endOf[g] is -1 while unscheduled.
+	endOf    []int64
+	runningG []bool
 
 	// computeRail state (indexed by group, epoch-marked).
 	shift    []int64
@@ -285,16 +301,41 @@ func (p *Planner) Cost(a *tam.Architecture) (int64, CostStats, error) {
 	// rails, concurrent when rail sets are disjoint. Zero-pattern and
 	// rail-less groups take no time and are skipped (scheduleSITest
 	// records them as zero-length slots, which do not move TotalSI).
+	// Under constraints the pick additionally requires power headroom,
+	// finished predecessors and idle exclusion partners, exactly like
+	// ScheduleSITestCons; skipped groups count as finished at t=0.
+	cons := p.cons
+	if cons != nil {
+		if cap(sc.endOf) < len(p.groups) {
+			sc.endOf = make([]int64, len(p.groups))
+			sc.runningG = make([]bool, len(p.groups))
+		}
+		sc.endOf = sc.endOf[:len(p.groups)]
+		sc.runningG = sc.runningG[:len(p.groups)]
+		for i := range sc.endOf {
+			sc.endOf[i] = -1
+			sc.runningG[i] = false
+		}
+	}
 	for gi, g := range p.groups {
 		if g.Patterns == 0 || len(sc.perGroup[gi]) == 0 {
+			if cons != nil {
+				sc.endOf[gi] = 0
+			}
 			continue
+		}
+		if cons != nil && cons.PowerBudget > 0 && cons.GroupPower[gi] > cons.PowerBudget {
+			return 0, st, fmt.Errorf("sischedule: group %q needs power %d > budget %d", g.Name, cons.GroupPower[gi], cons.PowerBudget)
 		}
 		sc.queue = append(sc.queue, int32(gi))
 	}
-	var total, currTime int64
+	var total, currTime, powerInUse int64
 	for len(sc.queue) > 0 {
 		found := -1
 		for qi, g := range sc.queue {
+			if cons != nil && !cons.admissible(g, cons.GroupPower[g], powerInUse, currTime, sc.endOf, sc.runningG) {
+				continue
+			}
 			ok := true
 			for _, c := range sc.perGroup[g] {
 				if sc.busy[c.rail] {
@@ -315,6 +356,11 @@ func (p *Planner) Cost(a *tam.Architecture) (int64, CostStats, error) {
 				sc.busy[c.rail] = true
 			}
 			sc.active = append(sc.active, activeRun{end: end, group: g})
+			if cons != nil {
+				powerInUse += cons.GroupPower[g]
+				sc.endOf[g] = end
+				sc.runningG[g] = true
+			}
 			if end > total {
 				total = end
 			}
@@ -337,6 +383,10 @@ func (p *Planner) Cost(a *tam.Architecture) (int64, CostStats, error) {
 			} else {
 				for _, c := range sc.perGroup[r.group] {
 					sc.busy[c.rail] = false
+				}
+				if cons != nil {
+					powerInUse -= cons.GroupPower[r.group]
+					sc.runningG[r.group] = false
 				}
 			}
 		}

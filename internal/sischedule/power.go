@@ -32,108 +32,13 @@ func GroupPower(a *tam.Architecture, g *Group) int64 {
 // exceed budget. A budget <= 0 means unlimited. An individual group
 // whose power alone exceeds a positive budget makes the schedule
 // infeasible and is reported as an error.
+//
+// It is a compatibility wrapper over ScheduleSITestCons with a
+// budget-only constraint set; the full constraint vocabulary (power
+// plus precedence and exclusion, from the .soc Constraints stanza)
+// goes through CompileConstraints.
 func ScheduleSITestPower(a *tam.Architecture, groups []*Group, m Model, budget int64) (*Schedule, error) {
-	times, err := CalculateSITestTime(a, groups, m)
-	if err != nil {
-		return nil, err
-	}
-	if budget > 0 {
-		for _, g := range groups {
-			if p := GroupPower(a, g); p > budget {
-				return nil, fmt.Errorf("sischedule: group %q needs power %d > budget %d", g.Name, p, budget)
-			}
-		}
-	}
-	sched := &Schedule{RailSI: make([]int64, len(a.Rails))}
-
-	type pending struct {
-		g     *Group
-		gt    GroupTime
-		power int64
-	}
-	unsched := make([]pending, 0, len(groups))
-	for i, g := range groups {
-		if len(times[i].Rails) == 0 || g.Patterns == 0 {
-			sched.Slots = append(sched.Slots, Slot{Group: g, GroupTime: times[i]})
-			for j, ri := range times[i].Rails {
-				sched.RailSI[ri] += times[i].PerRail[j]
-			}
-			continue
-		}
-		unsched = append(unsched, pending{g, times[i], GroupPower(a, g)})
-	}
-
-	busy := make([]bool, len(a.Rails))
-	type running struct {
-		end   int64
-		rails []int
-		power int64
-	}
-	var active []running
-	var currTime, powerInUse int64
-
-	for len(unsched) > 0 {
-		found := -1
-		for i, p := range unsched {
-			if budget > 0 && powerInUse+p.power > budget {
-				continue
-			}
-			ok := true
-			for _, ri := range p.gt.Rails {
-				if busy[ri] {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				found = i
-				break
-			}
-		}
-		if found >= 0 {
-			p := unsched[found]
-			unsched = append(unsched[:found], unsched[found+1:]...)
-			slot := Slot{Group: p.g, GroupTime: p.gt, Begin: currTime, End: currTime + p.gt.Time}
-			sched.Slots = append(sched.Slots, slot)
-			for j, ri := range p.gt.Rails {
-				busy[ri] = true
-				sched.RailSI[ri] += p.gt.PerRail[j]
-			}
-			active = append(active, running{slot.End, p.gt.Rails, p.power})
-			powerInUse += p.power
-			if slot.End > sched.TotalSI {
-				sched.TotalSI = slot.End
-			}
-			continue
-		}
-		var next int64 = -1
-		for _, r := range active {
-			if r.end > currTime && (next < 0 || r.end < next) {
-				next = r.end
-			}
-		}
-		if next < 0 {
-			return nil, fmt.Errorf("sischedule: deadlock — %d groups unscheduled with no active group", len(unsched))
-		}
-		currTime = next
-		keep := active[:0]
-		for _, r := range active {
-			if r.end > currTime {
-				keep = append(keep, r)
-			} else {
-				for _, ri := range r.rails {
-					busy[ri] = false
-				}
-				powerInUse -= r.power
-			}
-		}
-		active = keep
-	}
-
-	for i, t := range sched.RailSI {
-		a.Rails[i].SetTimeSI(t)
-	}
-	return sched, nil
+	return ScheduleSITestCons(a, groups, m, powerOnly(a, groups, budget))
 }
 
 // ValidatePower checks that no instant of the schedule exceeds the

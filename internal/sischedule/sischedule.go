@@ -173,6 +173,10 @@ type Slot struct {
 	GroupTime
 	Begin int64
 	End   int64
+
+	// Power is the group's test power under the schedule's constraint
+	// set (0 when the schedule was built unconstrained).
+	Power int64
 }
 
 // Schedule is the result of ScheduleSITest.
@@ -197,7 +201,17 @@ type Schedule struct {
 // As a side effect it refreshes each rail's TimeSI field with the rail's
 // accumulated busy time.
 func ScheduleSITest(a *tam.Architecture, groups []*Group, m Model) (*Schedule, error) {
-	return ScheduleSITestObs(a, groups, m, nil)
+	return ScheduleSITestConsObs(a, groups, m, nil, nil)
+}
+
+// ScheduleSITestCons is ScheduleSITest under a compiled constraint set:
+// a group is only picked when its rails are free AND its power fits the
+// remaining budget AND all its predecessor groups have finished AND no
+// mutually exclusive group is running; otherwise time advances exactly
+// as in Algorithm 1. A nil cons is byte-identical to ScheduleSITest —
+// constrained and unconstrained runs share this one code path.
+func ScheduleSITestCons(a *tam.Architecture, groups []*Group, m Model, cons *Constraints) (*Schedule, error) {
+	return ScheduleSITestConsObs(a, groups, m, cons, nil)
 }
 
 // ScheduleSITestObs is ScheduleSITest with tracing: each scheduled
@@ -205,9 +219,22 @@ func ScheduleSITest(a *tam.Architecture, groups []*Group, m Model) (*Schedule, e
 // and end times, involved rail count, bottleneck rail, pattern count)
 // in slot order, which is deterministic. A nil sink traces nothing.
 func ScheduleSITestObs(a *tam.Architecture, groups []*Group, m Model, sink obs.Sink) (*Schedule, error) {
-	sched, err := scheduleSITest(a, groups, m)
+	return ScheduleSITestConsObs(a, groups, m, nil, sink)
+}
+
+// ScheduleSITestConsObs is ScheduleSITestCons with tracing. Under a
+// constraint set each si_group_scheduled event additionally carries the
+// group's power and the budget, making every event self-contained for
+// downstream power validation (sitrace -check) even on truncated
+// traces.
+func ScheduleSITestConsObs(a *tam.Architecture, groups []*Group, m Model, cons *Constraints, sink obs.Sink) (*Schedule, error) {
+	sched, err := scheduleSITest(a, groups, m, cons)
 	if err != nil || sink == nil {
 		return sched, err
+	}
+	var budget int64
+	if cons != nil {
+		budget = cons.PowerBudget
 	}
 	for i := range sched.Slots {
 		sl := &sched.Slots[i]
@@ -218,15 +245,19 @@ func ScheduleSITestObs(a *tam.Architecture, groups []*Group, m Model, sink obs.S
 			Type: obs.SIGroupScheduled, Group: sl.Group.Name,
 			Begin: sl.Begin, End: sl.End,
 			Rails: len(sl.Rails), Rail: sl.Bottleneck,
-			N: sl.Group.Patterns,
+			N:     sl.Group.Patterns,
+			Power: sl.Power, Budget: budget,
 		})
 	}
 	return sched, nil
 }
 
-func scheduleSITest(a *tam.Architecture, groups []*Group, m Model) (*Schedule, error) {
+func scheduleSITest(a *tam.Architecture, groups []*Group, m Model, cons *Constraints) (*Schedule, error) {
 	times, err := CalculateSITestTime(a, groups, m)
 	if err != nil {
+		return nil, err
+	}
+	if err := cons.Feasible(groups, times); err != nil {
 		return nil, err
 	}
 	sched := &Schedule{
@@ -235,35 +266,64 @@ func scheduleSITest(a *tam.Architecture, groups []*Group, m Model) (*Schedule, e
 	}
 
 	type pending struct {
-		g  *Group
-		gt GroupTime
+		g     *Group
+		gt    GroupTime
+		gi    int32 // index into groups (constraint tables)
+		power int64
+	}
+	// endOf[gi] is group gi's finish time, or -1 while unscheduled;
+	// runningG[gi] marks gi currently occupying its rails. Only used
+	// under constraints.
+	var endOf []int64
+	var runningG []bool
+	if cons != nil {
+		endOf = make([]int64, len(groups))
+		for i := range endOf {
+			endOf[i] = -1
+		}
+		runningG = make([]bool, len(groups))
 	}
 	unsched := make([]pending, 0, len(groups))
 	for i, g := range groups {
 		// Groups that touch no rail (no involved cores or zero rails)
-		// take no time; record them as zero-length slots at t=0.
+		// take no time; record them as zero-length slots at t=0. They
+		// are exempt from constraints and count as finished immediately.
 		if len(times[i].Rails) == 0 || g.Patterns == 0 {
 			sched.Slots = append(sched.Slots, Slot{Group: g, GroupTime: times[i]})
 			for j, ri := range times[i].Rails {
 				sched.RailSI[ri] += times[i].PerRail[j]
 			}
+			if cons != nil {
+				endOf[i] = 0
+			}
 			continue
 		}
-		unsched = append(unsched, pending{g, times[i]})
+		p := pending{g: g, gt: times[i], gi: int32(i)}
+		if cons != nil {
+			p.power = cons.GroupPower[i]
+		}
+		unsched = append(unsched, p)
 	}
 
 	busy := make([]bool, len(a.Rails)) // currSchedTAMs
 	type running struct {
 		end   int64
 		rails []int
+		gi    int32
+		power int64
 	}
 	active := make([]running, 0, len(a.Rails))
-	var currTime int64
+	var currTime, powerInUse int64
 
 	for len(unsched) > 0 {
-		// Find the first unscheduled group whose rails are all free.
+		// Find the first unscheduled group whose rails are all free and,
+		// under constraints, whose power fits, predecessors finished and
+		// exclusion partners idle.
 		found := -1
 		for i, p := range unsched {
+			if cons != nil && !cons.admissible(p.gi, p.power, powerInUse, currTime, endOf, runningG) {
+				continue
+			}
 			ok := true
 			for _, ri := range p.gt.Rails {
 				if busy[ri] {
@@ -279,13 +339,18 @@ func scheduleSITest(a *tam.Architecture, groups []*Group, m Model) (*Schedule, e
 		if found >= 0 {
 			p := unsched[found]
 			unsched = append(unsched[:found], unsched[found+1:]...)
-			slot := Slot{Group: p.g, GroupTime: p.gt, Begin: currTime, End: currTime + p.gt.Time}
+			slot := Slot{Group: p.g, GroupTime: p.gt, Begin: currTime, End: currTime + p.gt.Time, Power: p.power}
 			sched.Slots = append(sched.Slots, slot)
 			for j, ri := range p.gt.Rails {
 				busy[ri] = true
 				sched.RailSI[ri] += p.gt.PerRail[j]
 			}
-			active = append(active, running{slot.End, p.gt.Rails})
+			active = append(active, running{slot.End, p.gt.Rails, p.gi, p.power})
+			powerInUse += p.power
+			if cons != nil {
+				endOf[p.gi] = slot.End
+				runningG[p.gi] = true
+			}
 			if slot.End > sched.TotalSI {
 				sched.TotalSI = slot.End
 			}
@@ -311,6 +376,10 @@ func scheduleSITest(a *tam.Architecture, groups []*Group, m Model) (*Schedule, e
 				for _, ri := range r.rails {
 					busy[ri] = false
 				}
+				powerInUse -= r.power
+				if cons != nil {
+					runningG[r.gi] = false
+				}
 			}
 		}
 		active = keep
@@ -320,6 +389,27 @@ func scheduleSITest(a *tam.Architecture, groups []*Group, m Model) (*Schedule, e
 		a.Rails[i].SetTimeSI(t)
 	}
 	return sched, nil
+}
+
+// admissible reports whether group gi may start at currTime under the
+// constraints, given the scheduler's running state: power headroom,
+// predecessors finished (scheduled with end <= now), and no running
+// exclusion partner. Rail availability is the caller's check.
+func (c *Constraints) admissible(gi int32, power, powerInUse, currTime int64, endOf []int64, runningG []bool) bool {
+	if c.PowerBudget > 0 && powerInUse+power > c.PowerBudget {
+		return false
+	}
+	for _, p := range c.preds[gi] {
+		if endOf[p] < 0 || endOf[p] > currTime {
+			return false
+		}
+	}
+	for _, e := range c.excl[gi] {
+		if runningG[e] {
+			return false
+		}
+	}
+	return true
 }
 
 // SerialTime returns the SI testing time when the groups are applied

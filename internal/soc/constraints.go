@@ -1,0 +1,196 @@
+package soc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrInvalid wraps every structural rejection of a constraint set: an
+// unknown core reference, a cyclic precedence relation, a malformed
+// exclusion set. Test for it with errors.Is(err, soc.ErrInvalid).
+// The parser surfaces constraint problems through this sentinel so
+// callers can distinguish "bad constraints" from I/O failures.
+var ErrInvalid = errors.New("soc: invalid constraints")
+
+// Precedence orders the SI tests of two cores: every SI test group
+// involving core Before must finish before any group involving core
+// After may start (groups containing both cores satisfy the relation
+// internally and are exempt).
+type Precedence struct {
+	Before int
+	After  int
+}
+
+// ConstraintSet holds the test-floor constraints of an SOC, parsed from
+// the optional Constraints stanza of a .soc file:
+//
+//	Constraints
+//	  PowerBudget 500
+//	  CorePower 3 120
+//	  Precede 1 2
+//	  Exclude 3 4 5
+//
+// The paper's optimizer schedules SI test groups with rail exclusivity
+// only; real test floors additionally cap peak test power and impose
+// precedence and mutual-exclusion relations between tests (see
+// arXiv:1008.4448 and the DSC-chip flow of arXiv:0710.4669). The
+// constraint vocabulary is core-level — the .soc format describes
+// cores, not groups — and is lifted onto SI test groups by
+// sischedule.CompileConstraints.
+type ConstraintSet struct {
+	// PowerBudget caps the summed test power of concurrently running
+	// SI test groups. 0 means unlimited.
+	PowerBudget int64
+
+	// CorePower overrides the test power of individual cores; a core
+	// without an entry defaults to its WOC count (the boundary cells an
+	// SI test toggles).
+	CorePower map[int]int64
+
+	// Precedences holds the core-level precedence relation.
+	Precedences []Precedence
+
+	// Exclusions holds mutual-exclusion sets: no two SI test groups
+	// that (separately) involve cores of the same set may run
+	// concurrently. Each set lists at least two distinct core IDs.
+	Exclusions [][]int
+}
+
+// Empty reports whether the set constrains nothing.
+func (cs *ConstraintSet) Empty() bool {
+	return cs == nil ||
+		(cs.PowerBudget == 0 && len(cs.CorePower) == 0 &&
+			len(cs.Precedences) == 0 && len(cs.Exclusions) == 0)
+}
+
+// Clone returns a deep copy. A nil receiver clones to nil.
+func (cs *ConstraintSet) Clone() *ConstraintSet {
+	if cs == nil {
+		return nil
+	}
+	c := &ConstraintSet{PowerBudget: cs.PowerBudget}
+	if cs.CorePower != nil {
+		c.CorePower = make(map[int]int64, len(cs.CorePower))
+		for id, p := range cs.CorePower {
+			c.CorePower[id] = p
+		}
+	}
+	c.Precedences = append([]Precedence(nil), cs.Precedences...)
+	for _, e := range cs.Exclusions {
+		c.Exclusions = append(c.Exclusions, append([]int(nil), e...))
+	}
+	return c
+}
+
+// PowerOf returns the test power of core c under the constraint set:
+// the CorePower override when present, the core's WOC count otherwise.
+// A nil set always answers WOC.
+func (cs *ConstraintSet) PowerOf(c *Core) int64 {
+	if cs != nil {
+		if p, ok := cs.CorePower[c.ID]; ok {
+			return p
+		}
+	}
+	return int64(c.WOC())
+}
+
+// Validate reports the first structural problem of the constraint set
+// against the SOC's cores. Every returned error wraps ErrInvalid.
+func (cs *ConstraintSet) Validate(s *SOC) error {
+	if cs == nil {
+		return nil
+	}
+	fail := func(format string, a ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, a...))
+	}
+	if cs.PowerBudget < 0 {
+		return fail("negative power budget %d", cs.PowerBudget)
+	}
+	ids := make(map[int]bool, len(s.CoreList))
+	for _, c := range s.CoreList {
+		ids[c.ID] = true
+	}
+	known := func(id int) bool { return ids[id] }
+	for id, p := range cs.CorePower {
+		if !known(id) {
+			return fail("CorePower names unknown core %d", id)
+		}
+		if p < 0 {
+			return fail("core %d has negative power %d", id, p)
+		}
+	}
+	for _, pr := range cs.Precedences {
+		if pr.Before == pr.After {
+			return fail("core %d precedes itself", pr.Before)
+		}
+		if !known(pr.Before) {
+			return fail("Precede names unknown core %d", pr.Before)
+		}
+		if !known(pr.After) {
+			return fail("Precede names unknown core %d", pr.After)
+		}
+	}
+	for i, e := range cs.Exclusions {
+		if len(e) < 2 {
+			return fail("exclusion set %d has %d cores, need at least 2", i, len(e))
+		}
+		seen := make(map[int]bool, len(e))
+		for _, id := range e {
+			if !known(id) {
+				return fail("Exclude names unknown core %d", id)
+			}
+			if seen[id] {
+				return fail("exclusion set %d repeats core %d", i, id)
+			}
+			seen[id] = true
+		}
+	}
+	if cycle := precedenceCycle(cs.Precedences); cycle != nil {
+		return fail("cyclic precedence through cores %v", cycle)
+	}
+	return nil
+}
+
+// precedenceCycle returns the core IDs of one cycle in the precedence
+// relation (in no particular order), or nil when the relation is a DAG.
+// Kahn's algorithm: peel zero-in-degree vertices; leftovers are cyclic.
+func precedenceCycle(prs []Precedence) []int {
+	indeg := make(map[int]int)
+	succ := make(map[int][]int)
+	for _, pr := range prs {
+		succ[pr.Before] = append(succ[pr.Before], pr.After)
+		indeg[pr.After]++
+		if _, ok := indeg[pr.Before]; !ok {
+			indeg[pr.Before] = 0
+		}
+	}
+	queue := make([]int, 0, len(indeg))
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	left := len(indeg)
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		left--
+		for _, nxt := range succ[id] {
+			if indeg[nxt]--; indeg[nxt] == 0 {
+				queue = append(queue, nxt)
+			}
+		}
+	}
+	if left == 0 {
+		return nil
+	}
+	var cyc []int
+	for id, d := range indeg {
+		if d > 0 {
+			cyc = append(cyc, id)
+		}
+	}
+	sort.Ints(cyc)
+	return cyc
+}

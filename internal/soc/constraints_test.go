@@ -1,0 +1,176 @@
+package soc
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+const consSOC = `SocName cons
+BusWidth 16
+Module 1
+  Outputs 8
+  Patterns 10
+Module 2
+  Outputs 4
+  Patterns 5
+Module 3
+  Outputs 2
+  Patterns 5
+
+Constraints
+  PowerBudget 500
+  CorePower 2 120
+  Precede 1 2
+  Precede 1 3
+  Exclude 2 3
+`
+
+func TestParseConstraints(t *testing.T) {
+	s, err := ParseString(consSOC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := s.Constraints
+	if cs == nil {
+		t.Fatal("no constraints parsed")
+	}
+	if cs.PowerBudget != 500 {
+		t.Errorf("PowerBudget = %d, want 500", cs.PowerBudget)
+	}
+	if got := cs.CorePower[2]; got != 120 {
+		t.Errorf("CorePower[2] = %d, want 120", got)
+	}
+	want := []Precedence{{1, 2}, {1, 3}}
+	if len(cs.Precedences) != 2 || cs.Precedences[0] != want[0] || cs.Precedences[1] != want[1] {
+		t.Errorf("Precedences = %v, want %v", cs.Precedences, want)
+	}
+	if len(cs.Exclusions) != 1 || len(cs.Exclusions[0]) != 2 {
+		t.Errorf("Exclusions = %v, want [[2 3]]", cs.Exclusions)
+	}
+	// PowerOf: override beats the WOC default.
+	if got := cs.PowerOf(s.CoreByID(2)); got != 120 {
+		t.Errorf("PowerOf(core 2) = %d, want 120", got)
+	}
+	if got := cs.PowerOf(s.CoreByID(1)); got != 8 {
+		t.Errorf("PowerOf(core 1) = %d, want WOC 8", got)
+	}
+}
+
+func TestConstraintsRoundTrip(t *testing.T) {
+	s, err := ParseString(consSOC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, s2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Errorf("write/parse/write not a fixed point:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+}
+
+func TestConstraintsErrInvalid(t *testing.T) {
+	base := "SocName x\nModule 1\nOutputs 1\nPatterns 1\nModule 2\nOutputs 1\nPatterns 1\nConstraints\n"
+	cases := []struct {
+		name  string
+		lines string
+	}{
+		{"cyclic precedence", "Precede 1 2\nPrecede 2 1\n"},
+		{"long cycle", "Precede 1 2\nPrecede 2 3\nPrecede 3 1\n"},
+		{"self precedence", "Precede 1 1\n"},
+		{"unknown precede before", "Precede 99 1\n"},
+		{"unknown precede after", "Precede 1 99\n"},
+		{"unknown corepower", "CorePower 99 5\n"},
+		{"unknown exclude", "Exclude 1 99\n"},
+		{"repeated exclude", "Exclude 1 1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := base + tc.lines
+			if tc.name == "long cycle" {
+				in = strings.Replace(in, "Constraints\n",
+					"Module 3\nOutputs 1\nPatterns 1\nConstraints\n", 1)
+			}
+			_, err := ParseString(in)
+			if err == nil {
+				t.Fatalf("parse accepted invalid constraints:\n%s", in)
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("error %v does not wrap ErrInvalid", err)
+			}
+		})
+	}
+}
+
+func TestConstraintsParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"powerbudget outside stanza", "SocName x\nModule 1\nOutputs 1\nPowerBudget 5\n"},
+		{"precede outside stanza", "SocName x\nModule 1\nOutputs 1\nPrecede 1 2\n"},
+		{"exclude outside stanza", "SocName x\nModule 1\nOutputs 1\nExclude 1 2\n"},
+		{"corepower outside stanza", "SocName x\nModule 1\nOutputs 1\nCorePower 1 2\n"},
+		{"exclude one core", "SocName x\nModule 1\nOutputs 1\nConstraints\nExclude 1\n"},
+		{"negative budget", "SocName x\nModule 1\nOutputs 1\nConstraints\nPowerBudget -1\n"},
+		{"negative corepower", "SocName x\nModule 1\nOutputs 1\nConstraints\nCorePower 1 -3\n"},
+		{"duplicate corepower", "SocName x\nModule 1\nOutputs 1\nConstraints\nCorePower 1 2\nCorePower 1 3\n"},
+		{"constraints with args", "SocName x\nModule 1\nOutputs 1\nConstraints 3\n"},
+		{"module key after constraints", "SocName x\nModule 1\nOutputs 1\nConstraints\nInputs 3\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseString(tc.in); err == nil {
+				t.Fatalf("parse accepted:\n%s", tc.in)
+			}
+		})
+	}
+}
+
+func TestConstraintSetCloneAndEmpty(t *testing.T) {
+	var nilSet *ConstraintSet
+	if !nilSet.Empty() {
+		t.Error("nil set should be Empty")
+	}
+	if nilSet.Clone() != nil {
+		t.Error("nil Clone should be nil")
+	}
+	if (&ConstraintSet{}).Empty() != true {
+		t.Error("zero set should be Empty")
+	}
+	cs := &ConstraintSet{
+		PowerBudget: 7,
+		CorePower:   map[int]int64{1: 2},
+		Precedences: []Precedence{{1, 2}},
+		Exclusions:  [][]int{{1, 2}},
+	}
+	c := cs.Clone()
+	c.CorePower[1] = 99
+	c.Precedences[0].After = 99
+	c.Exclusions[0][0] = 99
+	if cs.CorePower[1] != 2 || cs.Precedences[0].After != 2 || cs.Exclusions[0][0] != 1 {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+func TestBenchmarksHaveNoConstraints(t *testing.T) {
+	// The embedded paper fixtures predate the stanza; their parse must
+	// stay constraint-free so unconstrained code paths are untouched.
+	for _, name := range []string{"d695", "p34392", "p93791"} {
+		s := MustLoadBenchmark(name)
+		if !s.Constraints.Empty() {
+			t.Errorf("%s unexpectedly has constraints", name)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -32,12 +33,23 @@ import (
 // "ScanChains n : l1 ... ln" lists the n internal scan-chain lengths; a
 // module line without ScanChains describes a combinational core. Module 0,
 // when present, is stored as SOC.Top and excluded from Cores().
+//
+// An optional Constraints stanza describes test-floor scheduling
+// constraints (see ConstraintSet). The bare "Constraints" marker line
+// closes any open Module block; the stanza keys are only legal inside it:
+//
+//	Constraints
+//	  PowerBudget 500        # peak concurrent test power, 0 = unlimited
+//	  CorePower 3 120        # override core 3's power (default: its WOC)
+//	  Precede 1 2            # core 1's SI groups finish before core 2's start
+//	  Exclude 3 4 5          # no two groups covering these may overlap
 
 // Parse reads an SOC description in the .soc format from r.
 func Parse(r io.Reader) (*SOC, error) {
 	s := &SOC{BusWidth: DefaultBusWidth}
 	var cur *Core
 	var curTest *CoreTest
+	inCons := false
 	declaredTests := make(map[*Core]int)
 	total := -1
 
@@ -71,6 +83,22 @@ func Parse(r io.Reader) (*SOC, error) {
 			}
 			return v, nil
 		}
+		// needInts parses exactly n integer arguments (any number when
+		// n < 0). Used by the Constraints stanza keys.
+		needInts := func(what string, n int) ([]int, error) {
+			if n >= 0 && len(args) != n {
+				return nil, fail("%s expects %d integer arguments, got %d", what, n, len(args))
+			}
+			vs := make([]int, len(args))
+			for i, a := range args {
+				v, err := strconv.Atoi(a)
+				if err != nil {
+					return nil, fail("%s: bad integer %q", what, a)
+				}
+				vs[i] = v
+			}
+			return vs, nil
+		}
 
 		switch key {
 		case "socname":
@@ -100,6 +128,7 @@ func Parse(r io.Reader) (*SOC, error) {
 			}
 			cur = &Core{ID: v}
 			curTest = nil
+			inCons = false
 			if v == 0 {
 				s.Top = cur
 			} else {
@@ -202,6 +231,68 @@ func Parse(r io.Reader) (*SOC, error) {
 				}
 				cur.ScanChains[i] = l
 			}
+		case "constraints":
+			if len(args) != 0 {
+				return nil, fail("Constraints takes no arguments")
+			}
+			cur = nil
+			curTest = nil
+			inCons = true
+			if s.Constraints == nil {
+				s.Constraints = &ConstraintSet{}
+			}
+		case "powerbudget":
+			if !inCons {
+				return nil, fail("PowerBudget outside a Constraints stanza")
+			}
+			v, err := needInt("PowerBudget")
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 {
+				return nil, fail("PowerBudget must be non-negative, got %d", v)
+			}
+			s.Constraints.PowerBudget = int64(v)
+		case "corepower":
+			if !inCons {
+				return nil, fail("CorePower outside a Constraints stanza")
+			}
+			ids, err := needInts("CorePower", 2)
+			if err != nil {
+				return nil, err
+			}
+			if ids[1] < 0 {
+				return nil, fail("CorePower must be non-negative, got %d", ids[1])
+			}
+			if s.Constraints.CorePower == nil {
+				s.Constraints.CorePower = make(map[int]int64)
+			}
+			if _, dup := s.Constraints.CorePower[ids[0]]; dup {
+				return nil, fail("duplicate CorePower for core %d", ids[0])
+			}
+			s.Constraints.CorePower[ids[0]] = int64(ids[1])
+		case "precede":
+			if !inCons {
+				return nil, fail("Precede outside a Constraints stanza")
+			}
+			ids, err := needInts("Precede", 2)
+			if err != nil {
+				return nil, err
+			}
+			s.Constraints.Precedences = append(s.Constraints.Precedences,
+				Precedence{Before: ids[0], After: ids[1]})
+		case "exclude":
+			if !inCons {
+				return nil, fail("Exclude outside a Constraints stanza")
+			}
+			ids, err := needInts("Exclude", -1)
+			if err != nil {
+				return nil, err
+			}
+			if len(ids) < 2 {
+				return nil, fail("Exclude needs at least 2 core IDs, got %d", len(ids))
+			}
+			s.Constraints.Exclusions = append(s.Constraints.Exclusions, ids)
 		default:
 			return nil, fail("unknown key %q", fields[0])
 		}
@@ -270,6 +361,30 @@ func Write(w io.Writer, s *SOC) error {
 	}
 	for _, c := range s.CoreList {
 		writeCore(c)
+	}
+	if cs := s.Constraints; cs != nil && !cs.Empty() {
+		fmt.Fprintf(bw, "\nConstraints\n")
+		if cs.PowerBudget > 0 {
+			fmt.Fprintf(bw, "  PowerBudget %d\n", cs.PowerBudget)
+		}
+		ids := make([]int, 0, len(cs.CorePower))
+		for id := range cs.CorePower {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			fmt.Fprintf(bw, "  CorePower %d %d\n", id, cs.CorePower[id])
+		}
+		for _, pr := range cs.Precedences {
+			fmt.Fprintf(bw, "  Precede %d %d\n", pr.Before, pr.After)
+		}
+		for _, e := range cs.Exclusions {
+			fmt.Fprintf(bw, "  Exclude")
+			for _, id := range e {
+				fmt.Fprintf(bw, " %d", id)
+			}
+			fmt.Fprintln(bw)
+		}
 	}
 	return bw.Flush()
 }

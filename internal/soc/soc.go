@@ -131,6 +131,11 @@ type SOC struct {
 	// BusWidth is the width of the shared functional bus. The paper's
 	// experiments assume a 32-bit bus on both benchmark SOCs.
 	BusWidth int
+
+	// Constraints optionally holds test-floor scheduling constraints
+	// (power budget, precedence, mutual exclusion) parsed from the
+	// Constraints stanza of a .soc file. Nil means unconstrained.
+	Constraints *ConstraintSet
 }
 
 // Cores returns the wrapped cores of the SOC (excluding the top module).
@@ -188,6 +193,9 @@ func (s *SOC) Validate() error {
 			return fmt.Errorf("soc %s: duplicate core ID %d", s.Name, c.ID)
 		}
 		seen[c.ID] = true
+	}
+	if err := s.Constraints.Validate(s); err != nil {
+		return fmt.Errorf("soc %s: %w", s.Name, err)
 	}
 	return nil
 }

@@ -3,12 +3,27 @@
 // hand-written). Run it from internal/soc/benchmarks, or via
 // go:generate in package soc; the output is frozen into the
 // repository.
+//
+// With -scenario it instead emits one randomized constrained-
+// scheduling scenario (internal/scenario): a 100-1000-core SOC with a
+// power/precedence/exclusion Constraints stanza, a fixed TestRail
+// architecture and an SI test-group set, all derived from -seed:
+//
+//	gensoc -scenario -seed 42                       # to stdout
+//	gensoc -scenario -seed 42 -min 10 -max 40 -o s.scenario
+//
+// The output is deterministic per (seed, min, max) and replayable with
+// the scenario harness; see internal/scenario and DESIGN.md §12.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strings"
+
+	"sitam/internal/scenario"
 )
 
 type core struct {
@@ -70,6 +85,43 @@ func write(name string, busWidth int, topIn, topOut int, cores []core) {
 }
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gensoc: ")
+	var (
+		scen = flag.Bool("scenario", false, "emit one randomized constrained-scheduling scenario instead of the benchmark files")
+		seed = flag.Int64("seed", 1, "scenario seed")
+		min  = flag.Int("min", 0, "minimum core count (0 = scenario default, 100)")
+		max  = flag.Int("max", 0, "maximum core count (0 = scenario default, 1000)")
+		out  = flag.String("o", "", "scenario output file (default stdout)")
+	)
+	flag.Parse()
+	if *scen {
+		emitScenario(*seed, *min, *max, *out)
+		return
+	}
+	writeBenchmarks()
+}
+
+func emitScenario(seed int64, min, max int, out string) {
+	sc := scenario.GenerateConfig(scenario.Config{MinCores: min, MaxCores: max}, seed)
+	if err := sc.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := scenario.Write(w, sc); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeBenchmarks() {
 	p34392 := []core{
 		{1, 60, 40, 0, chainsFor(8, 2000), 420},
 		{2, 100, 60, 0, chainsFor(10, 1800), 300},
