@@ -14,7 +14,8 @@
 //	GET    /v1/jobs/{id}        job status and terminal result
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/jobs/{id}/events SSE stream of the search trace (heartbeats; disconnect cancels)
-//	GET    /metrics             metrics registry snapshot
+//	GET    /v1/jobs/{id}/trace  flight-recorder replay of a finished job's trace (JSONL)
+//	GET    /metrics             metrics snapshot: JSON, or Prometheus text under Accept: text/plain
 //	GET    /healthz             liveness and drain state
 //
 // Robustness: the queue is bounded and overload is shed with 503;
@@ -55,6 +56,8 @@ func main() {
 		maxTimeout  = flag.Duration("max-timeout", serve.DefaultMaxDeadline, "clamp on client-supplied per-job deadlines")
 		budgetCap   = flag.Int64("budget-cap", 0, "clamp on client-supplied eval budgets (0 = unlimited)")
 		journal     = flag.String("journal", "", "append-only job journal path; replayed on restart (empty = no durability)")
+		traceJobs   = flag.Int("trace-jobs", serve.DefaultRecorderJobs, "finished jobs whose traces the flight recorder retains")
+		traceEvents = flag.Int("trace-events", serve.DefaultRecorderEvents, "events kept per retained trace (head/tail sampled beyond)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-drain grace period: in-flight jobs beyond it are partial-ized")
 		heartbeat   = flag.Duration("heartbeat", 10*time.Second, "SSE heartbeat interval")
 		retryAfter  = flag.Duration("retry-after", time.Second, "backoff advertised on 503 responses")
@@ -72,6 +75,8 @@ func main() {
 			RetryAfter:      *retryAfter,
 			TestHooks:       *testHooks,
 			JournalPath:     *journal,
+			RecorderJobs:    *traceJobs,
+			RecorderEvents:  *traceEvents,
 			Logf:            log.Printf,
 		},
 		Heartbeat: *heartbeat,

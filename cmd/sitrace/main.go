@@ -5,12 +5,14 @@
 //
 //	tamopt -soc d695 -w 16 -trace run.jsonl
 //	sitrace run.jsonl              # summary
-//	sitrace -check run.jsonl       # schema, span-balance and power-budget validation
+//	sitrace -check run.jsonl       # schema, span-balance, per-job-span and power-budget validation
 //	sitrace -curve run.jsonl       # convergence curve as CSV on stdout
+//	sitrace -diff a.jsonl b.jsonl  # phase-time and convergence comparison of two runs
 //
 // The input is read from the file argument, or stdin when the argument
-// is "-" or absent. Every line is validated against the event schema
-// before any reporting; an invalid trace exits with code 1.
+// is "-" or absent (-diff takes exactly two file arguments). Every
+// line is validated against the event schema before any reporting; an
+// invalid trace exits with code 1.
 package main
 
 import (
@@ -29,10 +31,29 @@ func main() {
 	var (
 		check = flag.Bool("check", false, "validate the trace against the event schema and exit")
 		curve = flag.Bool("curve", false, "print the convergence curve as \"seq,evals,best\" CSV instead of the summary")
+		diff  = flag.Bool("diff", false, "compare two traces' phase times and convergence (takes two file arguments)")
 	)
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: sitrace -diff a.jsonl b.jsonl")
+		}
+		var traces [2][]obs.Event
+		for i := 0; i < 2; i++ {
+			events, err := read(flag.Arg(i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := obs.ValidateTrace(events); err != nil {
+				log.Fatalf("%s: %v", flag.Arg(i), err)
+			}
+			traces[i] = events
+		}
+		diffTraces(os.Stdout, flag.Arg(0), traces[0], flag.Arg(1), traces[1])
+		return
+	}
 	if flag.NArg() > 1 {
-		log.Fatal("usage: sitrace [-check|-curve] [trace.jsonl]")
+		log.Fatal("usage: sitrace [-check|-curve|-diff] [trace.jsonl]")
 	}
 
 	events, err := read(flag.Arg(0))
@@ -47,6 +68,12 @@ func main() {
 		// Only -check enforces span balance: the summary stays usable
 		// on traces truncated by a killed process.
 		if err := obs.ValidateSpans(events); err != nil {
+			log.Fatal(err)
+		}
+		// Daemon traces stamp every event with a job-correlation ID;
+		// spans must balance within each job, not just globally — two
+		// interleaved jobs can hide each other's unclosed spans.
+		if err := obs.ValidateJobSpans(events); err != nil {
 			log.Fatal(err)
 		}
 		// Power-annotated schedules must stay within their budget at

@@ -93,6 +93,64 @@ func TestCheckPowerOverBudgetFails(t *testing.T) {
 	}
 }
 
+// TestCheckUnbalancedJobSpansFails drives `sitrace -check` against a
+// trace where the spans balance globally but cross job-correlation
+// IDs: job a opens "greedy" and job b closes it. Global span balance
+// passes; the per-job check must fail.
+func TestCheckUnbalancedJobSpansFails(t *testing.T) {
+	bin := buildSitrace(t)
+	trace := writeTrace(t, []obs.Event{
+		{Type: obs.PhaseStart, Phase: "greedy", Job: "a"},
+		{Type: obs.PhaseEnd, Phase: "greedy", Job: "b"},
+	})
+	out, err := exec.Command(bin, "-check", trace).CombinedOutput()
+	if err == nil {
+		t.Fatalf("-check accepted spans crossing job IDs:\n%s", out)
+	}
+	if !strings.Contains(string(out), `job "a"`) {
+		t.Fatalf("failure should name the offending job: %s", out)
+	}
+}
+
+// TestDiffTraces drives `sitrace -diff` over two traces that differ
+// in phase time, phase set and final objective; the comparison must
+// surface all three.
+func TestDiffTraces(t *testing.T) {
+	bin := buildSitrace(t)
+	a := writeTrace(t, []obs.Event{
+		{Type: obs.PhaseStart, Phase: "greedy"},
+		{Type: obs.CandidateEvaluated, Phase: "greedy", Best: 20},
+		{Type: obs.CandidateEvaluated, Phase: "greedy", Best: 10},
+		{Type: obs.PhaseEnd, Phase: "greedy", DurNS: 4e6, N: 2, Best: 10},
+	})
+	b := writeTrace(t, []obs.Event{
+		{Type: obs.PhaseStart, Phase: "greedy"},
+		{Type: obs.CandidateEvaluated, Phase: "greedy", Best: 12},
+		{Type: obs.PhaseEnd, Phase: "greedy", DurNS: 8e6, N: 1, Best: 12},
+		{Type: obs.PhaseStart, Phase: "merge"},
+		{Type: obs.PhaseEnd, Phase: "merge", DurNS: 1e6, Best: 12},
+	})
+	out, err := exec.Command(bin, "-diff", a, b).CombinedOutput()
+	if err != nil {
+		t.Fatalf("-diff failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"greedy", "+100.0%", // phase wall doubled
+		"B only", "merge", // phase present only in B
+		"final best:   A=10 B=12",
+		"verdict: A converged lower",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Wrong arity is a usage error.
+	if _, err := exec.Command(bin, "-diff", a).CombinedOutput(); err == nil {
+		t.Error("-diff accepted a single argument")
+	}
+}
+
 // TestCheckBalancedTracePasses is the matching positive case.
 func TestCheckBalancedTracePasses(t *testing.T) {
 	bin := buildSitrace(t)

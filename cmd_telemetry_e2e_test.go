@@ -1,0 +1,108 @@
+package sitam
+
+// End-to-end tests of the fleet-telemetry path: sitamd's negotiated
+// Prometheus exposition, the flight-recorder trace replay, and the
+// sitrace -diff comparison of two daemon-produced traces.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sitam/internal/obs"
+)
+
+func httpGet(t *testing.T, url, accept string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestE2ESitamdTelemetry drives the daemon through two jobs and then
+// walks the whole telemetry surface: a Prometheus scrape that the
+// strict format validator accepts, byte-stable trace replays, a
+// sitrace -check pass on a daemon trace (job spans balance), and a
+// nonempty sitrace -diff between the two runs.
+func TestE2ESitamdTelemetry(t *testing.T) {
+	cmd, _, base := startSitamd(t)
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	id1 := submitJob(t, base, `{"soc":"d695","wmax":12,"nr":200,"groups":2,"seed":1}`)
+	waitJobState(t, base, id1, "done")
+	id2 := submitJob(t, base, `{"soc":"d695","wmax":16,"nr":400,"groups":2,"seed":7}`)
+	waitJobState(t, base, id2, "done")
+
+	// A Prometheus scrape parses cleanly and carries the job counters.
+	resp, prom := httpGet(t, base+"/metrics", "text/plain")
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("scrape Content-Type = %q", ct)
+	}
+	if err := obs.ValidatePrometheus(bytes.NewReader(prom)); err != nil {
+		t.Errorf("daemon exposition invalid: %v\n%s", err, prom)
+	}
+	if !bytes.Contains(prom, []byte(`sitam_jobs_total{state="done"} 2`)) {
+		t.Errorf("exposition missing done-jobs counter:\n%s", prom)
+	}
+	// The JSON default is untouched.
+	resp, jsonBody := httpGet(t, base+"/metrics", "")
+	if resp.Header.Get("Content-Type") != "application/json" || !bytes.Contains(jsonBody, []byte(`"serve_done"`)) {
+		t.Errorf("JSON metrics changed shape:\n%s", jsonBody)
+	}
+
+	// Trace replays are byte-stable and land on disk for sitrace.
+	dir := t.TempDir()
+	var traceFiles []string
+	for _, id := range []string{id1, id2} {
+		_, first := httpGet(t, base+"/v1/jobs/"+id+"/trace", "")
+		_, second := httpGet(t, base+"/v1/jobs/"+id+"/trace", "")
+		if !bytes.Equal(first, second) {
+			t.Fatalf("trace replay of %s not byte-stable", id)
+		}
+		name := filepath.Join(dir, id+".jsonl")
+		if err := os.WriteFile(name, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		traceFiles = append(traceFiles, name)
+	}
+
+	// A daemon trace passes the strict check: schema, global spans,
+	// per-job spans, power budget.
+	if out := runTool(t, "sitrace", "-check", traceFiles[0]); !strings.Contains(out, "trace OK") {
+		t.Errorf("sitrace -check on daemon trace:\n%s", out)
+	}
+
+	// And the two runs diff into a nonempty phase/convergence report.
+	out, err := exec.Command(filepath.Join(binaries(t), "sitrace"),
+		"-diff", traceFiles[0], traceFiles[1]).CombinedOutput()
+	if err != nil {
+		t.Fatalf("sitrace -diff: %v\n%s", err, out)
+	}
+	for _, want := range []string{"diff:", "phases:", "si schedule", "convergence:", "final best:"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("sitrace -diff output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -170,6 +170,12 @@ type Event struct {
 	// DurNS is the phase wall-clock duration in nanoseconds (PhaseEnd).
 	// It is the one nondeterministic field of a trace.
 	DurNS int64 `json:"dur_ns,omitempty"`
+
+	// Job is the job-correlation ID stamped by a NewJobTracer collector
+	// (the sitamd flight recorder). Empty on CLI traces. A trace may
+	// interleave events of several jobs (e.g. concatenated flight
+	// recordings); ValidateJobSpans checks span balance per job.
+	Job string `json:"job,omitempty"`
 }
 
 // Canonical returns the event with its nondeterministic wall-clock
@@ -271,6 +277,33 @@ func ValidateSpans(events []Event) error {
 	if len(bad) > 0 {
 		sort.Strings(bad)
 		return fmt.Errorf("obs: unbalanced phase spans: %s", bad)
+	}
+	return nil
+}
+
+// ValidateJobSpans checks job-correlation balance: phase spans must
+// balance within each job-correlation ID separately (the empty ID — CLI
+// traces — is a job of its own). A global ValidateSpans pass can be
+// fooled by two interleaved jobs whose mismatched spans happen to sum
+// to balance; grouping by ID first closes that hole, and it is what
+// sitrace -check runs against flight-recorder output.
+func ValidateJobSpans(events []Event) error {
+	byJob := map[string][]Event{}
+	var order []string
+	for i := range events {
+		id := events[i].Job
+		if _, ok := byJob[id]; !ok {
+			order = append(order, id)
+		}
+		byJob[id] = append(byJob[id], events[i])
+	}
+	for _, id := range order {
+		if err := ValidateSpans(byJob[id]); err != nil {
+			if id == "" {
+				return err
+			}
+			return fmt.Errorf("job %q: %w", id, err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJobTracerStampsEvents(t *testing.T) {
+	tr := NewJobTracer("j000007")
+	sp := Span(tr, "compaction")
+	sp.End(0, 3)
+	// A pre-stamped event (e.g. a concatenated foreign recording) keeps
+	// its own ID.
+	tr.Emit(Event{Type: ILSKick, Kick: 1, Job: "j000001"})
+
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Job != "j000007" || events[1].Job != "j000007" {
+		t.Errorf("span events not stamped: %+v", events[:2])
+	}
+	if events[2].Job != "j000001" {
+		t.Errorf("pre-stamped event overwritten: %+v", events[2])
+	}
+	// Drained Local buffers pick the ID up at collection time.
+	l := NewLocal()
+	l.Emit(Event{Type: MergeRejected, Phase: "merge"})
+	Drain(tr, l)
+	if got := tr.Events()[3]; got.Job != "j000007" {
+		t.Errorf("drained event not stamped: %+v", got)
+	}
+}
+
+func TestValidateJobSpans(t *testing.T) {
+	// Balanced per job, interleaved: fine.
+	ok := []Event{
+		{Type: PhaseStart, Phase: "merge", Job: "a"},
+		{Type: PhaseStart, Phase: "merge", Job: "b"},
+		{Type: PhaseEnd, Phase: "merge", Job: "a"},
+		{Type: PhaseEnd, Phase: "merge", Job: "b"},
+	}
+	if err := ValidateJobSpans(ok); err != nil {
+		t.Errorf("balanced interleaved trace rejected: %v", err)
+	}
+
+	// Globally balanced but per-job unbalanced: job a opened the span,
+	// job b closed it. ValidateSpans alone cannot see this.
+	crossed := []Event{
+		{Type: PhaseStart, Phase: "merge", Job: "a"},
+		{Type: PhaseEnd, Phase: "merge", Job: "b"},
+	}
+	if err := ValidateSpans(crossed); err != nil {
+		t.Fatalf("global span check unexpectedly failed: %v", err)
+	}
+	err := ValidateJobSpans(crossed)
+	if err == nil || !strings.Contains(err.Error(), `job "a"`) {
+		t.Errorf("ValidateJobSpans(crossed) = %v, want per-job error", err)
+	}
+
+	// The empty ID (CLI traces) is checked too.
+	bare := []Event{{Type: PhaseEnd, Phase: "merge"}}
+	if err := ValidateJobSpans(bare); err == nil {
+		t.Error("unbalanced bare trace accepted")
+	}
+}

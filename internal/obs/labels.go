@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Label-keyed series. The metrics Registry keys every metric by a flat
+// string; labeled series encode their labels into that key in one
+// canonical form,
+//
+//	name{k1="v1",k2="v2"}
+//
+// with the label pairs sorted by key and the values escaped. Labels
+// builds the canonical key (so two call sites with the same pairs in
+// any order land on the same series) and ParseKey splits a key back
+// into name and pairs — which is all the Prometheus text encoder needs
+// to render labeled families without the Registry growing a second
+// storage shape. Unlabeled metrics are the degenerate case: their key
+// is just the name.
+
+// Label is one name="value" pair of a labeled series key.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Labels builds the canonical registry key for a labeled series. The
+// variadic tail is alternating key, value pairs; pairs are sorted by
+// key, so argument order never splits a series. With no pairs the name
+// itself is returned.
+func Labels(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	pairs := make([]Label, 0, (len(kv)+1)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	if len(kv)%2 == 1 {
+		// An unpaired trailing key takes an empty value rather than
+		// silently vanishing; the exposition layer renders it as k="".
+		pairs = append(pairs, Label{Key: kv[len(kv)-1]})
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseKey splits a registry key into its metric name and label pairs.
+// A key with no label block parses as the bare name; a malformed block
+// is kept verbatim in the name so nothing is silently dropped.
+func ParseKey(key string) (name string, labels []Label) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 || !strings.HasSuffix(key, "}") {
+		return key, nil
+	}
+	name = key[:open]
+	body := key[open+1 : len(key)-1]
+	for len(body) > 0 {
+		eq := strings.Index(body, `="`)
+		if eq < 0 {
+			return key, nil
+		}
+		k := body[:eq]
+		rest := body[eq+2:]
+		v, n, ok := unescapeLabelValue(rest)
+		if !ok {
+			return key, nil
+		}
+		labels = append(labels, Label{Key: k, Value: v})
+		body = rest[n:]
+		if strings.HasPrefix(body, ",") {
+			body = body[1:]
+		} else if body != "" {
+			return key, nil
+		}
+	}
+	return name, labels
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// format: backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// unescapeLabelValue reads an escaped label value up to its closing
+// quote, returning the value, the bytes consumed (closing quote
+// included) and whether the value was well-formed.
+func unescapeLabelValue(s string) (string, int, bool) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, true
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, false
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, false
+}

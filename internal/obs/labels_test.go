@@ -1,0 +1,56 @@
+package obs
+
+import "testing"
+
+func TestLabelsCanonical(t *testing.T) {
+	a := Labels("jobs_total", "state", "done")
+	if a != `jobs_total{state="done"}` {
+		t.Fatalf("Labels = %q", a)
+	}
+	// Argument order never splits a series.
+	x := Labels("m", "b", "2", "a", "1")
+	y := Labels("m", "a", "1", "b", "2")
+	if x != y || x != `m{a="1",b="2"}` {
+		t.Fatalf("Labels not canonical: %q vs %q", x, y)
+	}
+	if got := Labels("m"); got != "m" {
+		t.Fatalf("Labels with no pairs = %q", got)
+	}
+	// An odd trailing key keeps the series visible instead of vanishing.
+	if got := Labels("m", "k"); got != `m{k=""}` {
+		t.Fatalf("Labels odd kv = %q", got)
+	}
+}
+
+func TestLabelsEscaping(t *testing.T) {
+	key := Labels("m", "path", `a"b\c`+"\n")
+	name, labels := ParseKey(key)
+	if name != "m" || len(labels) != 1 {
+		t.Fatalf("ParseKey(%q) = %q, %v", key, name, labels)
+	}
+	if labels[0].Value != `a"b\c`+"\n" {
+		t.Fatalf("roundtrip value = %q", labels[0].Value)
+	}
+}
+
+func TestParseKey(t *testing.T) {
+	name, labels := ParseKey(`phase_ms{phase="si schedule",state="done"}`)
+	if name != "phase_ms" || len(labels) != 2 {
+		t.Fatalf("ParseKey = %q, %v", name, labels)
+	}
+	if labels[0] != (Label{"phase", "si schedule"}) || labels[1] != (Label{"state", "done"}) {
+		t.Fatalf("labels = %v", labels)
+	}
+
+	// Bare names pass through.
+	if name, labels := ParseKey("evals"); name != "evals" || labels != nil {
+		t.Fatalf("bare ParseKey = %q, %v", name, labels)
+	}
+
+	// Malformed blocks are kept verbatim rather than half-parsed.
+	for _, bad := range []string{`m{k=v}`, `m{k="v`, `m{k="v" j="w"}`} {
+		if name, labels := ParseKey(bad); name != bad || labels != nil {
+			t.Errorf("ParseKey(%q) = %q, %v; want verbatim", bad, name, labels)
+		}
+	}
+}

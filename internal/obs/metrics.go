@@ -62,12 +62,21 @@ func (g *Gauge) Load() int64 {
 }
 
 // Histogram accumulates a distribution of int64 observations (count,
-// sum, min, max) using atomics only. Obtain histograms from a Registry
-// — NewHistogram seeds the extrema sentinels the CAS loops rely on, so
+// sum, min, max, and — when built with bounds — fixed cumulative
+// buckets) using atomics only. Obtain histograms from a Registry —
+// NewHistogram seeds the extrema sentinels the CAS loops rely on, so
 // the zero value is not ready to use (a nil histogram is).
 type Histogram struct {
 	count, sum atomic.Int64
 	min, max   atomic.Int64
+
+	// bounds are the sorted upper bucket bounds; buckets[i] counts the
+	// observations with v <= bounds[i] that fell into no earlier
+	// bucket. Observations above every bound land only in count (the
+	// implicit +Inf bucket of the exposition format). Both slices are
+	// immutable after construction.
+	bounds  []int64
+	buckets []atomic.Int64
 }
 
 // NewHistogram returns an empty histogram ready for observations.
@@ -78,6 +87,26 @@ func NewHistogram() *Histogram {
 	return h
 }
 
+// NewHistogramBuckets returns an empty histogram with the given fixed
+// upper bucket bounds (sorted and deduplicated here, so callers can
+// pass literals). Empty bounds degrade to a plain histogram.
+func NewHistogramBuckets(bounds []int64) *Histogram {
+	h := NewHistogram()
+	if len(bounds) == 0 {
+		return h
+	}
+	sorted := append([]int64(nil), bounds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	h.bounds = sorted[:1]
+	for _, b := range sorted[1:] {
+		if b != h.bounds[len(h.bounds)-1] {
+			h.bounds = append(h.bounds, b)
+		}
+	}
+	h.buckets = make([]atomic.Int64, len(h.bounds))
+	return h
+}
+
 // Observe records one value. No-op on a nil histogram.
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
@@ -85,6 +114,9 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.count.Add(1)
 	h.sum.Add(v)
+	if i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] }); i < len(h.bounds) {
+		h.buckets[i].Add(1)
+	}
 	for {
 		cur := h.min.Load()
 		if v >= cur || h.min.CompareAndSwap(cur, v) {
@@ -100,7 +132,9 @@ func (h *Histogram) Observe(v int64) {
 }
 
 // Stats returns the accumulated distribution; the zero value on a nil
-// or empty histogram.
+// or empty histogram. Bucket counts are cumulative (Prometheus "le"
+// semantics) and clamped to Count, so a snapshot taken while writers
+// race still satisfies bucket <= count and monotonicity.
 func (h *Histogram) Stats() HistogramStats {
 	if h == nil {
 		return HistogramStats{}
@@ -109,12 +143,31 @@ func (h *Histogram) Stats() HistogramStats {
 	if n == 0 {
 		return HistogramStats{}
 	}
-	return HistogramStats{
+	st := HistogramStats{
 		Count: n,
 		Sum:   h.sum.Load(),
 		Min:   h.min.Load(),
 		Max:   h.max.Load(),
 	}
+	if len(h.bounds) > 0 {
+		st.Buckets = make([]HistogramBucket, len(h.bounds))
+		var cum int64
+		for i := range h.bounds {
+			cum += h.buckets[i].Load()
+			if cum > n {
+				cum = n
+			}
+			st.Buckets[i] = HistogramBucket{UpperBound: h.bounds[i], Count: cum}
+		}
+	}
+	return st
+}
+
+// HistogramBucket is one cumulative bucket of a bucketed histogram:
+// Count observations were <= UpperBound.
+type HistogramBucket struct {
+	UpperBound int64 `json:"le"`
+	Count      int64 `json:"count"`
 }
 
 // HistogramStats is the exported summary of a Histogram.
@@ -123,6 +176,11 @@ type HistogramStats struct {
 	Sum   int64 `json:"sum"`
 	Min   int64 `json:"min"`
 	Max   int64 `json:"max"`
+
+	// Buckets are the cumulative fixed buckets; empty on histograms
+	// built without bounds (their exposition carries only the implicit
+	// +Inf bucket).
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
 }
 
 // Mean returns the average observation, or 0 when empty.
@@ -201,6 +259,24 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// HistogramBuckets returns the named histogram, creating it with the
+// given fixed bucket bounds on first use. A histogram that already
+// exists keeps its original bounds — bounds are a property of the
+// series, not of the call site. Nil on a nil registry.
+func (r *Registry) HistogramBuckets(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogramBuckets(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
 // Snapshot copies the current metric values into plain data. Safe on a
 // nil registry (returns an empty snapshot).
 func (r *Registry) Snapshot() *Snapshot {
@@ -250,6 +326,28 @@ func (s *Snapshot) Counter(name string) int64 {
 	return s.Counters[name]
 }
 
+// sortedKeys returns a map's keys in sorted order — the one iteration
+// order every snapshot consumer (Format, the JSON encoder's own key
+// sorting, the Prometheus encoder) agrees on, which is what makes
+// /metrics output and -stats prints golden-testable.
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CounterNames returns the snapshot's counter keys in sorted order.
+func (s *Snapshot) CounterNames() []string { return sortedKeys(s.Counters) }
+
+// GaugeNames returns the snapshot's gauge keys in sorted order.
+func (s *Snapshot) GaugeNames() []string { return sortedKeys(s.Gauges) }
+
+// HistogramNames returns the snapshot's histogram keys in sorted order.
+func (s *Snapshot) HistogramNames() []string { return sortedKeys(s.Histograms) }
+
 // Format renders the snapshot as sorted "name value" lines, one metric
 // per line, for the CLIs' -stats output. Deterministic for a given
 // snapshot.
@@ -258,28 +356,13 @@ func (s *Snapshot) Format() string {
 		return ""
 	}
 	var b strings.Builder
-	names := make([]string, 0, len(s.Counters))
-	for name := range s.Counters {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range s.CounterNames() {
 		fmt.Fprintf(&b, "%-28s %d\n", name, s.Counters[name])
 	}
-	names = names[:0]
-	for name := range s.Gauges {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range s.GaugeNames() {
 		fmt.Fprintf(&b, "%-28s %d\n", name, s.Gauges[name])
 	}
-	names = names[:0]
-	for name := range s.Histograms {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range s.HistogramNames() {
 		st := s.Histograms[name]
 		fmt.Fprintf(&b, "%-28s count=%d sum=%d min=%d max=%d mean=%.1f\n",
 			name, st.Count, st.Sum, st.Min, st.Max, st.Mean())

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentWriters hammers one registry from many
+// goroutines — lazy handle creation, counters, gauges, bucketed
+// histograms and concurrent snapshots — and checks the totals and the
+// histogram invariants afterwards. Run under -race this is the data
+// race proof for the registry; the invariant checks also pin that a
+// snapshot taken mid-write stays internally consistent (cumulative
+// buckets never exceed the count).
+func TestRegistryConcurrentWriters(t *testing.T) {
+	reg := NewRegistry()
+	const writers = 8
+	const perWriter = 2000
+	bounds := []int64{10, 100, 1000}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				reg.Counter("hits").Inc()
+				reg.Counter(Labels("jobs_total", "state", "done")).Inc()
+				reg.Gauge("depth").Set(int64(i))
+				reg.HistogramBuckets("lat_ms", bounds).Observe(int64(i % 1500))
+			}
+		}(w)
+	}
+	// Concurrent readers: snapshots and expositions while writes race.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := reg.Snapshot()
+				checkHistInvariants(t, snap)
+				var buf bytes.Buffer
+				if err := WritePrometheus(&buf, snap); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := ValidatePrometheus(&buf); err != nil {
+					t.Errorf("mid-write exposition invalid: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("hits"); got != writers*perWriter {
+		t.Errorf("hits = %d, want %d", got, writers*perWriter)
+	}
+	if got := snap.Counter(Labels("jobs_total", "state", "done")); got != writers*perWriter {
+		t.Errorf("labeled counter = %d, want %d", got, writers*perWriter)
+	}
+	st := snap.Histograms["lat_ms"]
+	if st.Count != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", st.Count, writers*perWriter)
+	}
+	if len(st.Buckets) != 3 || st.Buckets[2].Count >= st.Count {
+		t.Errorf("buckets = %+v (count %d)", st.Buckets, st.Count)
+	}
+}
+
+func checkHistInvariants(t *testing.T, snap *Snapshot) {
+	t.Helper()
+	for _, name := range snap.HistogramNames() {
+		st := snap.Histograms[name]
+		var prev int64
+		for _, b := range st.Buckets {
+			if b.Count < prev {
+				t.Errorf("%s: bucket le=%d count %d < previous %d", name, b.UpperBound, b.Count, prev)
+			}
+			if b.Count > st.Count {
+				t.Errorf("%s: bucket le=%d count %d > count %d", name, b.UpperBound, b.Count, st.Count)
+			}
+			prev = b.Count
+		}
+	}
+}
+
+func TestHistogramBucketsDedupSort(t *testing.T) {
+	h := NewHistogramBuckets([]int64{100, 10, 100, 1})
+	for _, v := range []int64{0, 5, 50, 500} {
+		h.Observe(v)
+	}
+	st := h.Stats()
+	want := []HistogramBucket{{1, 1}, {10, 2}, {100, 3}}
+	if len(st.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", st.Buckets)
+	}
+	for i, b := range want {
+		if st.Buckets[i] != b {
+			t.Errorf("bucket %d = %+v, want %+v", i, st.Buckets[i], b)
+		}
+	}
+	if st.Count != 4 || st.Sum != 555 {
+		t.Errorf("count/sum = %d/%d", st.Count, st.Sum)
+	}
+}

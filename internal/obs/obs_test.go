@@ -163,7 +163,7 @@ func TestMetricsNilSafety(t *testing.T) {
 	}
 	var h *Histogram
 	h.Observe(3)
-	if h.Stats() != (HistogramStats{}) {
+	if st := h.Stats(); st.Count != 0 || st.Sum != 0 || len(st.Buckets) != 0 {
 		t.Error("nil histogram accumulated")
 	}
 	var r *Registry

@@ -1,0 +1,440 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for a metrics
+// Snapshot. The encoder is zero-dependency and deterministic: families
+// are emitted counters first, then gauges, then histograms, each in
+// sorted key order, so the output is golden-testable and two scrapes of
+// the same snapshot are byte-identical. Label-keyed series (see Labels)
+// are grouped under one family; bucketed histograms render the full
+// _bucket/_sum/_count triple, plain ones the implicit +Inf bucket only.
+// ValidatePrometheus is the matching strict parser — the format
+// validator the exposition tests and the sitamd telemetry e2e run
+// against every scrape.
+
+// PromContentType is the Content-Type a 0.0.4 text exposition is
+// served under.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promFamily is one metric family being assembled for exposition.
+type promFamily struct {
+	name   string // sanitized family name
+	kind   string // counter | gauge | histogram
+	series []promSeries
+}
+
+type promSeries struct {
+	labels string // rendered {k="v",...} block, "" when unlabeled
+	value  int64
+	hist   *HistogramStats
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text format.
+// Safe on a nil snapshot (writes nothing).
+func WritePrometheus(w io.Writer, s *Snapshot) error {
+	if s == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, fam := range promFamilies(s) {
+		fmt.Fprintf(bw, "# HELP %s sitam %s %s\n", fam.name, fam.kind, fam.name)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.name, fam.kind)
+		for _, ser := range fam.series {
+			if fam.kind != "histogram" {
+				fmt.Fprintf(bw, "%s%s %d\n", fam.name, ser.labels, ser.value)
+				continue
+			}
+			st := ser.hist
+			for _, b := range st.Buckets {
+				fmt.Fprintf(bw, "%s_bucket%s %d\n",
+					fam.name, withLabel(ser.labels, "le", strconv.FormatInt(b.UpperBound, 10)), b.Count)
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", fam.name, withLabel(ser.labels, "le", "+Inf"), st.Count)
+			fmt.Fprintf(bw, "%s_sum%s %d\n", fam.name, ser.labels, st.Sum)
+			fmt.Fprintf(bw, "%s_count%s %d\n", fam.name, ser.labels, st.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// promFamilies groups a snapshot's flat keys into exposition families.
+func promFamilies(s *Snapshot) []promFamily {
+	var out []promFamily
+	collect := func(kind string, names []string, value func(string) promSeries) {
+		byName := make(map[string]*promFamily)
+		var order []string
+		for _, key := range names {
+			name, labels := ParseKey(key)
+			name = sanitizeMetricName(name)
+			fam, ok := byName[name]
+			if !ok {
+				fam = &promFamily{name: name, kind: kind}
+				byName[name] = fam
+				order = append(order, name)
+			}
+			ser := value(key)
+			ser.labels = renderLabels(labels)
+			fam.series = append(fam.series, ser)
+		}
+		sort.Strings(order)
+		for _, name := range order {
+			out = append(out, *byName[name])
+		}
+	}
+	collect("counter", s.CounterNames(), func(key string) promSeries {
+		return promSeries{value: s.Counters[key]}
+	})
+	collect("gauge", s.GaugeNames(), func(key string) promSeries {
+		return promSeries{value: s.Gauges[key]}
+	})
+	collect("histogram", s.HistogramNames(), func(key string) promSeries {
+		st := s.Histograms[key]
+		return promSeries{hist: &st}
+	})
+	return out
+}
+
+// renderLabels rebuilds the canonical {k="v",...} block from parsed
+// pairs, sanitizing label names. Empty pairs render as "".
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabelName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// withLabel appends one more label pair to a rendered label block.
+func withLabel(block, key, value string) string {
+	pair := key + `="` + value + `"`
+	if block == "" {
+		return "{" + pair + "}"
+	}
+	return block[:len(block)-1] + "," + pair + "}"
+}
+
+// sanitizeMetricName maps an arbitrary registry name onto the metric
+// name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(name string) string {
+	return sanitizeName(name, true)
+}
+
+// sanitizeLabelName maps a label key onto [a-zA-Z_][a-zA-Z0-9_]*.
+func sanitizeLabelName(name string) string {
+	return sanitizeName(name, false)
+}
+
+func sanitizeName(name string, allowColon bool) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(allowColon && r == ':') || (i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// ValidatePrometheus parses a text exposition strictly and checks the
+// invariants a Prometheus scraper relies on: well-formed comment and
+// sample lines, every sampled family declared by a preceding TYPE line,
+// no duplicate series, and — for histogram families — cumulative
+// buckets that are monotone in le, include le="+Inf", and agree with
+// the _count sample. It returns the first violation found.
+func ValidatePrometheus(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	types := map[string]string{} // family -> declared type
+	seen := map[string]bool{}    // "name{labels}" -> sampled
+	type histSeries struct {
+		buckets map[string]float64 // le -> cumulative count
+		count   float64
+		hasCnt  bool
+		hasSum  bool
+	}
+	hists := map[string]*histSeries{} // family + base labels -> series
+	histSeriesFor := func(key string) *histSeries {
+		h, ok := hists[key]
+		if !ok {
+			h = &histSeries{buckets: map[string]float64{}}
+			hists[key] = h
+		}
+		return h
+	}
+
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), " \t")
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if err := validateComment(text, types); err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		serKey := name + renderParsed(labels)
+		if seen[serKey] {
+			return fmt.Errorf("line %d: duplicate series %s", line, serKey)
+		}
+		seen[serKey] = true
+
+		family, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name && types[base] == "histogram" {
+				family, suffix = base, s
+				break
+			}
+		}
+		typ, declared := types[family]
+		if !declared {
+			return fmt.Errorf("line %d: sample %s before any TYPE declaration", line, name)
+		}
+		if typ != "histogram" {
+			continue
+		}
+		if suffix == "" {
+			return fmt.Errorf("line %d: histogram family %s sampled without _bucket/_sum/_count suffix", line, family)
+		}
+		base, le, hasLE := splitLE(labels)
+		h := histSeriesFor(family + base)
+		switch suffix {
+		case "_bucket":
+			if !hasLE {
+				return fmt.Errorf("line %d: %s_bucket without le label", line, family)
+			}
+			if _, dup := h.buckets[le]; dup {
+				return fmt.Errorf("line %d: duplicate bucket le=%q for %s", line, le, family)
+			}
+			h.buckets[le] = value
+		case "_sum":
+			h.hasSum = true
+		case "_count":
+			h.count, h.hasCnt = value, true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	// Histogram closing invariants, per series.
+	keys := sortedKeys(hists)
+	for _, key := range keys {
+		h := hists[key]
+		if !h.hasCnt || !h.hasSum {
+			return fmt.Errorf("histogram %s missing _sum or _count", key)
+		}
+		inf, ok := h.buckets["+Inf"]
+		if !ok {
+			return fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", key)
+		}
+		if inf != h.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %g != count %g", key, inf, h.count)
+		}
+		type bound struct {
+			le  float64
+			cum float64
+		}
+		bounds := make([]bound, 0, len(h.buckets))
+		for le, cum := range h.buckets {
+			f, err := parseLE(le)
+			if err != nil {
+				return fmt.Errorf("histogram %s: %w", key, err)
+			}
+			bounds = append(bounds, bound{le: f, cum: cum})
+		}
+		sort.Slice(bounds, func(i, j int) bool { return bounds[i].le < bounds[j].le })
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i].cum < bounds[i-1].cum {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative (le=%g count %g < %g)",
+					key, bounds[i].le, bounds[i].cum, bounds[i-1].cum)
+			}
+		}
+	}
+	return nil
+}
+
+func validateComment(text string, types map[string]string) error {
+	fields := strings.SplitN(text, " ", 4)
+	if len(fields) < 2 || fields[0] != "#" {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", text)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		types[name] = typ
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", text)
+		}
+	}
+	return nil
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+func parseSample(text string) (name string, labels []Label, value float64, err error) {
+	i := 0
+	for i < len(text) && text[i] != '{' && text[i] != ' ' && text[i] != '\t' {
+		i++
+	}
+	name = text[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := text[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label block in %q", text)
+		}
+		parsed, plabels := ParseKey(name + rest[:end+1])
+		if parsed != name {
+			return "", nil, 0, fmt.Errorf("malformed label block in %q", text)
+		}
+		for _, l := range plabels {
+			if !validLabelName(l.Key) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", l.Key)
+			}
+		}
+		labels = plabels
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("want value [timestamp] after %q, got %q", name, rest)
+	}
+	value, err = parseLE(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q: %w", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLE parses a sample or le value, accepting the +Inf/-Inf/NaN
+// spellings of the text format.
+func parseLE(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// splitLE removes the le label from a parsed label set, returning the
+// rendered base block and the le value.
+func splitLE(labels []Label) (base string, le string, ok bool) {
+	rest := make([]Label, 0, len(labels))
+	for _, l := range labels {
+		if l.Key == "le" {
+			le, ok = l.Value, true
+			continue
+		}
+		rest = append(rest, l)
+	}
+	return renderParsed(rest), le, ok
+}
+
+func renderParsed(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case i > 0 && r >= '0' && r <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case i > 0 && r >= '0' && r <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}

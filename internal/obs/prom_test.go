@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// promFixture builds a registry exercising every exposition shape:
+// bare and labeled counters, a gauge, a plain histogram and a bucketed
+// one with two labeled series.
+func promFixture() *Registry {
+	reg := NewRegistry()
+	reg.Counter("evals").Add(42)
+	reg.Counter(Labels("jobs_total", "state", "done")).Add(3)
+	reg.Counter(Labels("jobs_total", "state", "failed")).Add(1)
+	reg.Gauge("queue_depth").Set(7)
+	reg.Histogram("plain_ms").Observe(5)
+	reg.Histogram("plain_ms").Observe(11)
+	for _, v := range []int64{1, 3, 9, 40, 5000} {
+		reg.HistogramBuckets(Labels("phase_ms", "phase", "compaction"), []int64{2, 10, 100}).Observe(v)
+	}
+	reg.HistogramBuckets(Labels("phase_ms", "phase", "si schedule"), []int64{2, 10, 100}).Observe(4)
+	return reg
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promFixture().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP evals sitam counter evals
+# TYPE evals counter
+evals 42
+# HELP jobs_total sitam counter jobs_total
+# TYPE jobs_total counter
+jobs_total{state="done"} 3
+jobs_total{state="failed"} 1
+# HELP queue_depth sitam gauge queue_depth
+# TYPE queue_depth gauge
+queue_depth 7
+# HELP phase_ms sitam histogram phase_ms
+# TYPE phase_ms histogram
+phase_ms_bucket{phase="compaction",le="2"} 1
+phase_ms_bucket{phase="compaction",le="10"} 3
+phase_ms_bucket{phase="compaction",le="100"} 4
+phase_ms_bucket{phase="compaction",le="+Inf"} 5
+phase_ms_sum{phase="compaction"} 5053
+phase_ms_count{phase="compaction"} 5
+phase_ms_bucket{phase="si schedule",le="2"} 0
+phase_ms_bucket{phase="si schedule",le="10"} 1
+phase_ms_bucket{phase="si schedule",le="100"} 1
+phase_ms_bucket{phase="si schedule",le="+Inf"} 1
+phase_ms_sum{phase="si schedule"} 4
+phase_ms_count{phase="si schedule"} 1
+# HELP plain_ms sitam histogram plain_ms
+# TYPE plain_ms histogram
+plain_ms_bucket{le="+Inf"} 2
+plain_ms_sum 16
+plain_ms_count 2
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusDeterministic pins the satellite requirement that
+// two scrapes of one snapshot are byte-identical (map iteration order
+// must never leak into the exposition).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	snap := promFixture().Snapshot()
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renders of one snapshot differ")
+	}
+}
+
+func TestValidatePrometheusAcceptsEncoder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promFixture().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePrometheus(&buf); err != nil {
+		t.Errorf("validator rejects encoder output: %v", err)
+	}
+}
+
+func TestValidatePrometheusRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"undeclared family", "orphan 1\n", "before any TYPE"},
+		{"duplicate series", "# TYPE a counter\na 1\na 2\n", "duplicate series"},
+		{"duplicate type", "# TYPE a counter\n# TYPE a counter\n", "duplicate TYPE"},
+		{"bad type", "# TYPE a rate\n", "unknown metric type"},
+		{"bad name", "# TYPE 1a counter\n", "invalid metric name"},
+		{"bad value", "# TYPE a counter\na one\n", "bad sample value"},
+		{"missing inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n", "+Inf"},
+		{
+			"noncumulative",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n",
+			"not cumulative",
+		},
+		{
+			"inf count mismatch",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n",
+			"+Inf bucket 4 != count 5",
+		},
+		{
+			"bare histogram sample",
+			"# TYPE h histogram\nh 4\n",
+			"without _bucket/_sum/_count",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidatePrometheus(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ValidatePrometheus = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// And a well-formed hand-written exposition passes, timestamps and
+	// free comments included.
+	good := "# scraped at t0\n# TYPE a counter\na{x=\"1\"} 3 1700000000\na 4\n"
+	if err := ValidatePrometheus(strings.NewReader(good)); err != nil {
+		t.Errorf("ValidatePrometheus(good) = %v", err)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"serve_job_ms":   "serve_job_ms",
+		"phase ns total": "phase_ns_total",
+		"9lives":         "_lives",
+		"":               "_",
+		"a:b":            "a:b",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

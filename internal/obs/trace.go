@@ -22,6 +22,7 @@ type Sink interface {
 // order afterwards.
 type Tracer struct {
 	mu     sync.Mutex
+	job    string
 	events []Event
 }
 
@@ -30,11 +31,23 @@ func NewTracer() *Tracer {
 	return &Tracer{}
 }
 
+// NewJobTracer returns a trace collector that stamps the given
+// job-correlation ID into every event it collects. Emitters stay
+// job-agnostic — per-worker Local buffers drained into the tracer pick
+// the ID up at collection time, so one engine run recorded for job
+// j000042 carries "j000042" on every event of its flight recording.
+func NewJobTracer(job string) *Tracer {
+	return &Tracer{job: job}
+}
+
 // Emit implements Sink: stamps the event with the next sequence number
-// and records it.
+// (and the collector's job-correlation ID, if any) and records it.
 func (t *Tracer) Emit(ev Event) {
 	t.mu.Lock()
 	ev.Seq = uint64(len(t.events))
+	if t.job != "" && ev.Job == "" {
+		ev.Job = t.job
+	}
 	t.events = append(t.events, ev)
 	t.mu.Unlock()
 }

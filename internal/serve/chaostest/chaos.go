@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -501,7 +502,9 @@ func percentiles(d []time.Duration) Percentiles {
 		if i >= len(sorted) {
 			i = len(sorted) - 1
 		}
-		return float64(sorted[i]) / float64(time.Millisecond)
+		// Round to microsecond precision so BENCH_serve.json diffs carry
+		// only real movement, not float formatting churn.
+		return math.Round(float64(sorted[i])/float64(time.Microsecond)) / 1000
 	}
 	return Percentiles{
 		Samples: len(sorted),

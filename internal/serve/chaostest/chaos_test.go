@@ -76,12 +76,18 @@ func TestChaos(t *testing.T) {
 }
 
 // writeBench records the latency percentiles at the repo root so CI
-// diffs serving latency across commits.
+// diffs serving latency across commits. CHAOS_BENCH_OUT redirects the
+// file (sitperf measures a fresh run without clobbering the committed
+// baseline).
 func writeBench(t *testing.T, res *Result) {
-	root, err := repoRoot()
-	if err != nil {
-		t.Logf("skipping BENCH_serve.json: %v", err)
-		return
+	path := os.Getenv("CHAOS_BENCH_OUT")
+	if path == "" {
+		root, err := repoRoot()
+		if err != nil {
+			t.Logf("skipping BENCH_serve.json: %v", err)
+			return
+		}
+		path = filepath.Join(root, "BENCH_serve.json")
 	}
 	out := struct {
 		*Result
@@ -91,7 +97,6 @@ func writeBench(t *testing.T, res *Result) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(root, "BENCH_serve.json")
 	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}

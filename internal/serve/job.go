@@ -223,7 +223,7 @@ type Job struct {
 }
 
 func newJob(id string, req Request) *Job {
-	return &Job{ID: id, Req: req, Trace: obs.NewTracer(), state: StateQueued, done: make(chan struct{})}
+	return &Job{ID: id, Req: req, Trace: obs.NewJobTracer(id), state: StateQueued, done: make(chan struct{})}
 }
 
 // State returns the job's current lifecycle state.

@@ -56,6 +56,14 @@ type Config struct {
 	// construction.
 	JournalPath string
 
+	// RecorderJobs / RecorderEvents bound the flight recorder: how many
+	// finished jobs keep their trace retrievable via
+	// GET /v1/jobs/{id}/trace, and how many events one recording may
+	// hold before head/tail sampling kicks in. Zero means
+	// DefaultRecorderJobs / DefaultRecorderEvents.
+	RecorderJobs   int
+	RecorderEvents int
+
 	// Metrics receives the scheduler's counters and gauges; created
 	// internally when nil so /metrics always has content.
 	Metrics *obs.Registry
@@ -106,8 +114,9 @@ func (c *Config) fill() {
 // execute, and a graceful two-phase Drain. See DESIGN.md §11 for the
 // admission and drain state machines.
 type Scheduler struct {
-	cfg     Config
-	journal *Journal
+	cfg      Config
+	journal  *Journal
+	recorder *FlightRecorder
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -130,9 +139,10 @@ type Scheduler struct {
 func NewScheduler(cfg Config) (*Scheduler, error) {
 	cfg.fill()
 	s := &Scheduler{
-		cfg:   cfg,
-		jobs:  make(map[string]*Job),
-		queue: make(chan *Job, cfg.QueueDepth),
+		cfg:      cfg,
+		jobs:     make(map[string]*Job),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		recorder: NewFlightRecorder(cfg.RecorderJobs, cfg.RecorderEvents),
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	if cfg.JournalPath != "" {
@@ -155,6 +165,9 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 // Metrics returns the scheduler's registry (for /metrics and the final
 // drain snapshot).
 func (s *Scheduler) Metrics() *obs.Registry { return s.cfg.Metrics }
+
+// Recorder returns the flight recorder holding finished jobs' traces.
+func (s *Scheduler) Recorder() *FlightRecorder { return s.recorder }
 
 // RetryAfter is the advertised backoff for shed requests.
 func (s *Scheduler) RetryAfter() time.Duration { return s.cfg.RetryAfter }
@@ -298,7 +311,7 @@ func (s *Scheduler) execute(job *Job) {
 	defer func() {
 		cancel()
 		s.cfg.Metrics.Gauge("serve_running").Set(s.running.Add(-1))
-		s.cfg.Metrics.Histogram("serve_job_ms").Observe(time.Since(start).Milliseconds())
+		s.cfg.Metrics.HistogramBuckets("serve_job_ms", phaseBucketsMs).Observe(time.Since(start).Milliseconds())
 		if r := recover(); r != nil {
 			s.cfg.Metrics.Counter("serve_panics").Inc()
 			s.finalizeJob(job, StateFailed, nil, fmt.Sprintf("panic: %v", r))
@@ -320,14 +333,29 @@ func (s *Scheduler) execute(job *Job) {
 	}
 }
 
-// finalizeJob applies a terminal transition once, journals it durably
-// and accounts for it.
+// phaseBucketsMs are the fixed bucket bounds (milliseconds) of the
+// per-phase job timing histograms exposed as
+// sitam_job_phase_ms{phase="..."} on /metrics.
+var phaseBucketsMs = []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// finalizeJob applies a terminal transition once, journals it durably,
+// records the trace in the flight recorder and accounts for it.
 func (s *Scheduler) finalizeJob(job *Job, state State, outcome *Outcome, errMsg string) {
 	if !job.finalize(state, outcome, errMsg) {
 		return
 	}
 	job.release()
+	events := job.Trace.Events()
+	s.recorder.Record(job.ID, events)
 	s.cfg.Metrics.Counter("serve_" + string(state)).Inc()
+	s.cfg.Metrics.Counter(obs.Labels("sitam_jobs_total", "state", string(state))).Inc()
+	for i := range events {
+		if ev := &events[i]; ev.Type == obs.PhaseEnd {
+			s.cfg.Metrics.HistogramBuckets(
+				obs.Labels("sitam_job_phase_ms", "phase", ev.Phase), phaseBucketsMs,
+			).Observe(ev.DurNS / 1e6)
+		}
+	}
 	if err := s.journal.Append(JournalEntry{T: "terminal", ID: job.ID, State: state, Result: outcome, Error: errMsg}); err != nil {
 		s.cfg.Logf("journal: %v", err)
 	}

@@ -5,8 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
+	"strings"
 	"time"
+
+	"sitam/internal/obs"
 )
 
 // ServerConfig parameterizes a Server: the scheduler Config plus the
@@ -32,7 +37,11 @@ type ServerConfig struct {
 //	GET    /v1/jobs/{id}/events SSE: search trace + heartbeats; client
 //	                            disconnect cancels a live job unless
 //	                            ?cancel=no
-//	GET    /metrics             obs registry snapshot (JSON)
+//	GET    /v1/jobs/{id}/trace  flight-recorder replay of a finished
+//	                            job's trace as JSONL (byte-stable)
+//	GET    /metrics             obs registry snapshot: JSON by default,
+//	                            Prometheus 0.0.4 text when the Accept
+//	                            header prefers text/plain
 //	GET    /healthz             liveness + drain state
 type Server struct {
 	sched     *Scheduler
@@ -59,9 +68,21 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	setBuildInfo(sched.Metrics())
 	return s, nil
+}
+
+// setBuildInfo publishes the conventional build-info gauge: a constant
+// 1 whose labels carry the version facts a fleet dashboard joins on.
+func setBuildInfo(reg *obs.Registry) {
+	version := "dev"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	reg.Gauge(obs.Labels("sitam_build_info", "version", version, "goversion", runtime.Version())).Set(1)
 }
 
 // Scheduler exposes the underlying scheduler (drain, direct job
@@ -160,7 +181,66 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.sched.Metrics().Snapshot())
+	snap := s.sched.Metrics().Snapshot()
+	if acceptsPromText(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		w.WriteHeader(http.StatusOK)
+		obs.WritePrometheus(w, snap) //nolint:errcheck // response write failure leaves nothing to do
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// acceptsPromText decides the /metrics representation from the Accept
+// header: the first media range naming text/plain (or the OpenMetrics
+// type, which the 0.0.4 text format predates but scrapers send) wins
+// over json; absent, empty or wildcard headers keep the historical
+// JSON default so existing clients see no change.
+func acceptsPromText(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mediaType {
+		case "text/plain", "application/openmetrics-text":
+			return true
+		case "application/json", "*/*":
+			return false
+		}
+	}
+	return false
+}
+
+// handleTrace replays a finished job's flight recording as JSONL.
+// Recordings are immutable, so two replays of one job are
+// byte-identical; a sampled recording advertises the elision in the
+// X-Sitam-Trace-Dropped header (and the seq gap makes it visible to
+// sitrace). Live jobs stream via /events instead — replay of an
+// unfinished trace would not be stable.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job := s.jobOr404(w, r)
+	if job == nil {
+		return
+	}
+	rec := s.sched.Recorder().Get(job.ID)
+	if rec == nil {
+		if !job.State().Terminal() {
+			writeJSON(w, http.StatusConflict, errorBody{
+				Error: fmt.Sprintf("job %s is %s; stream /v1/jobs/%s/events until it finishes", job.ID, job.State(), job.ID),
+			})
+			return
+		}
+		writeJSON(w, http.StatusNotFound, errorBody{
+			Error: fmt.Sprintf("job %s has no retained trace (evicted from the flight recorder or replayed from the journal)", job.ID),
+		})
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/x-ndjson")
+	h.Set("X-Sitam-Trace-Total", strconv.Itoa(rec.Total))
+	if rec.Dropped > 0 {
+		h.Set("X-Sitam-Trace-Dropped", strconv.Itoa(rec.Dropped))
+	}
+	w.WriteHeader(http.StatusOK)
+	obs.WriteJSONL(w, rec.Events) //nolint:errcheck // response write failure leaves nothing to do
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,223 @@
+package serve
+
+// Tests of the fleet-telemetry surface: the content-negotiated
+// Prometheus exposition on /metrics, the flight recorder, and the
+// byte-stable trace replay endpoint.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"sitam/internal/obs"
+)
+
+func getWithAccept(t *testing.T, url, accept string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestHTTPMetricsContentNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{Config: Config{Workers: 2}})
+	acc, _ := postJob(t, ts, quickReq())
+	waitHTTPTerminal(t, ts, acc.ID)
+
+	// Default (no Accept, and explicit JSON): the historical JSON
+	// snapshot, unchanged for existing clients.
+	for _, accept := range []string{"", "application/json", "*/*", "application/json, text/plain"} {
+		resp, body := getWithAccept(t, ts.URL+"/metrics", accept)
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Accept %q: Content-Type = %q, want application/json", accept, ct)
+		}
+		if !bytes.Contains(body, []byte(`"serve_admitted"`)) {
+			t.Errorf("Accept %q: JSON body missing counters:\n%s", accept, body)
+		}
+	}
+
+	// text/plain negotiates the Prometheus 0.0.4 exposition, and the
+	// format validator parses every scrape without error.
+	for _, accept := range []string{"text/plain", "text/plain; version=0.0.4", "text/plain, application/json", "application/openmetrics-text"} {
+		resp, body := getWithAccept(t, ts.URL+"/metrics", accept)
+		if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+			t.Errorf("Accept %q: Content-Type = %q, want %q", accept, ct, obs.PromContentType)
+		}
+		if err := obs.ValidatePrometheus(bytes.NewReader(body)); err != nil {
+			t.Errorf("Accept %q: exposition invalid: %v\n%s", accept, err, body)
+		}
+		for _, want := range []string{
+			"# TYPE serve_admitted counter",
+			"# TYPE sitam_jobs_total counter",
+			`sitam_jobs_total{state="done"} 1`,
+			"# TYPE sitam_job_phase_ms histogram",
+			`sitam_job_phase_ms_bucket{phase="si schedule",le="+Inf"}`,
+			"# TYPE serve_job_ms histogram",
+			"serve_job_ms_bucket{le=\"+Inf\"} 1",
+			"# TYPE sitam_build_info gauge",
+			"sitam_build_info{goversion=",
+		} {
+			if !strings.Contains(string(body), want) {
+				t.Errorf("Accept %q: exposition missing %q:\n%s", accept, want, body)
+			}
+		}
+	}
+}
+
+func TestHTTPTraceReplayByteStable(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{Config: Config{Workers: 1}})
+	acc, _ := postJob(t, ts, quickReq())
+	waitHTTPTerminal(t, ts, acc.ID)
+
+	resp, first := getWithAccept(t, ts.URL+"/v1/jobs/"+acc.ID+"/trace", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d\n%s", resp.StatusCode, first)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	resp2, second := getWithAccept(t, ts.URL+"/v1/jobs/"+acc.ID+"/trace", "")
+	if resp2.StatusCode != http.StatusOK || !bytes.Equal(first, second) {
+		t.Error("two replays of one finished job differ")
+	}
+
+	// The replay parses as a valid trace, every event carries the
+	// job-correlation ID, and job spans balance.
+	events, err := obs.ReadJSONL(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty replayed trace")
+	}
+	if err := obs.ValidateTrace(events); err != nil {
+		t.Error(err)
+	}
+	if err := obs.ValidateJobSpans(events); err != nil {
+		t.Error(err)
+	}
+	for i := range events {
+		if events[i].Job != acc.ID {
+			t.Fatalf("event %d carries job %q, want %q", i, events[i].Job, acc.ID)
+		}
+	}
+
+	// Unknown jobs 404; unfinished jobs 409 with a pointer to /events.
+	resp, _ = getWithAccept(t, ts.URL+"/v1/jobs/j999999/trace", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job trace status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPTraceConflictWhileRunning(t *testing.T) {
+	srv, ts := newTestServer(t, ServerConfig{Config: Config{Workers: 1, TestHooks: true}})
+	acc, _ := postJob(t, ts, sleepReq(2000))
+	job, err := srv.Scheduler().Job(acc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, job, StateRunning)
+	resp, body := getWithAccept(t, ts.URL+"/v1/jobs/"+acc.ID+"/trace", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("running job trace status = %d, want 409\n%s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("/events")) {
+		t.Errorf("409 body should point at the event stream:\n%s", body)
+	}
+	job.Cancel()
+	waitHTTPTerminal(t, ts, acc.ID)
+}
+
+func TestFlightRecorderSampling(t *testing.T) {
+	fr := NewFlightRecorder(2, 10)
+	long := make([]obs.Event, 100)
+	for i := range long {
+		long[i] = obs.Event{Seq: uint64(i), Type: obs.CandidateEvaluated, Phase: "merge", Cand: i}
+	}
+	fr.Record("j1", long)
+
+	rec := fr.Get("j1")
+	if rec == nil || len(rec.Events) != 10 {
+		t.Fatalf("recording = %+v", rec)
+	}
+	if rec.Total != 100 || rec.Dropped != 90 {
+		t.Errorf("total/dropped = %d/%d, want 100/90", rec.Total, rec.Dropped)
+	}
+	// Head preserved ...
+	for i := 0; i < 5; i++ {
+		if rec.Events[i].Seq != uint64(i) {
+			t.Fatalf("head event %d has seq %d", i, rec.Events[i].Seq)
+		}
+	}
+	// ... and tail preserved, with the elision visible as a seq gap.
+	for i := 5; i < 10; i++ {
+		if rec.Events[i].Seq != uint64(95+i-5) {
+			t.Fatalf("tail event %d has seq %d", i, rec.Events[i].Seq)
+		}
+	}
+
+	// A short trace is kept whole.
+	fr.Record("j2", long[:4])
+	if rec := fr.Get("j2"); rec.Dropped != 0 || len(rec.Events) != 4 {
+		t.Errorf("short recording = %+v", rec)
+	}
+
+	// The job ring evicts the oldest recording.
+	fr.Record("j3", long[:1])
+	if fr.Get("j1") != nil {
+		t.Error("oldest recording not evicted")
+	}
+	if fr.Get("j2") == nil || fr.Get("j3") == nil || fr.Len() != 2 {
+		t.Errorf("ring state wrong: len=%d", fr.Len())
+	}
+}
+
+// TestFlightRecorderConcurrent is the -race proof for the recorder:
+// concurrent recorders and readers over a small ring.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	fr := NewFlightRecorder(8, 16)
+	events := make([]obs.Event, 64)
+	for i := range events {
+		events[i] = obs.Event{Seq: uint64(i), Type: obs.CandidateEvaluated, Phase: "merge"}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("j%d-%d", w, i)
+				fr.Record(id, events)
+				if rec := fr.Get(id); rec != nil {
+					if rec.Dropped != 48 || len(rec.Events) != 16 {
+						t.Errorf("recording %s sampled wrong: %d kept, %d dropped", id, len(rec.Events), rec.Dropped)
+						return
+					}
+				}
+				fr.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if fr.Len() != 8 {
+		t.Errorf("ring len = %d, want 8", fr.Len())
+	}
+}
