@@ -13,6 +13,7 @@ package sitam
 
 import (
 	"context"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -424,6 +425,76 @@ func Benchmark_CacheColdVsWarm(b *testing.B) {
 			}
 		}
 		b.ReportMetric(100*cache.Stats().HitRate(), "cache_hit_%")
+	})
+}
+
+// Benchmark_CachePersistentRestart measures the restart win of the
+// persistent cache file: a first "process" runs cold with -cache-file
+// semantics (populating the journal), then every timed iteration of
+// the warm sub-bench simulates a restarted process — reopen the file,
+// seed a brand-new in-memory cache from it, re-run the same sweep.
+// Seeded entries count as Loads, not hits, so the reported hit rate is
+// earned entirely by the timed run; the acceptance bar is >= 90% on
+// the first repeated sweep after restart.
+func Benchmark_CachePersistentRestart(b *testing.B) {
+	s := soc.MustLoadBenchmark("p34392")
+	patterns, err := sifault.Generate(s, sifault.GenConfig{N: 10000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gr, err := core.BuildGroups(s, patterns, core.GroupingOptions{Parts: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sischedule.DefaultModel()
+	path := filepath.Join(b.TempDir(), "evals.sitcache")
+
+	// First process: one cold run populates the cache file.
+	cf, err := core.OpenCacheFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := core.TAMOptimizationWith(context.Background(), s, 64, gr.Groups, m,
+		core.ParallelConfig{Workers: 1, Persist: cf}); err != nil {
+		b.Fatal(err)
+	}
+	if err := cf.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		var hitRate float64
+		for i := 0; i < b.N; i++ {
+			res, err := core.TAMOptimizationWith(context.Background(), s, 64, gr.Groups, m,
+				core.ParallelConfig{Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			hitRate = res.Cache.HitRate()
+		}
+		b.ReportMetric(100*hitRate, "cache_hit_%")
+	})
+	b.Run("persistent_warm", func(b *testing.B) {
+		var hitRate float64
+		for i := 0; i < b.N; i++ {
+			cf, err := core.OpenCacheFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := core.TAMOptimizationWith(context.Background(), s, 64, gr.Groups, m,
+				core.ParallelConfig{Workers: 1, Persist: cf})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := cf.Close(); err != nil {
+				b.Fatal(err)
+			}
+			hitRate = res.Cache.HitRate()
+		}
+		b.ReportMetric(100*hitRate, "cache_hit_%")
+		if hitRate < 0.9 {
+			b.Errorf("persistent warm hit rate %.1f%% < 90%% — restart seeding regressed", 100*hitRate)
+		}
 	})
 }
 

@@ -36,6 +36,7 @@ func main() {
 		file    = flag.String("file", "", ".soc file to load instead of a benchmark")
 		parts   = flag.Int("g", 1, "number of SI test groups (1 = vertical compaction only)")
 		seed    = flag.Int64("seed", 1, "partitioner seed")
+		workers = flag.Int("compact-workers", 0, "concurrent compaction shard workers (0 = serial, -1 = GOMAXPROCS); output is identical at any count")
 		out     = flag.String("o", "", "write compacted patterns to this file")
 		stats   = flag.Bool("stats", false, "print partition/compaction phase metrics to stderr")
 		timeout = flag.Duration("timeout", 0, "deadline; on expiry the partially compacted set is emitted and the exit code is 3 (0 = none)")
@@ -48,7 +49,7 @@ func main() {
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 
-	partial, reason, err := run(ctx, *socName, *file, *parts, *seed, *out, flag.Arg(0), *stats)
+	partial, reason, err := run(ctx, *socName, *file, *parts, *seed, *workers, *out, flag.Arg(0), *stats)
 	stop()
 	if err != nil {
 		if cli.IsCtxErr(err) {
@@ -63,7 +64,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, socName, file string, parts int, seed int64, out, patFile string, stats bool) (partial bool, reason string, err error) {
+func run(ctx context.Context, socName, file string, parts int, seed int64, workers int, out, patFile string, stats bool) (partial bool, reason string, err error) {
 	s, err := loadSOC(file, socName)
 	if err != nil {
 		return false, "", err
@@ -85,7 +86,7 @@ func run(ctx context.Context, socName, file string, parts int, seed int64, out, 
 	}
 
 	var tracer *obs.Tracer
-	gopts := core.GroupingOptions{Parts: parts, Seed: seed}
+	gopts := core.GroupingOptions{Parts: parts, Seed: seed, CompactWorkers: workers}
 	if stats {
 		tracer = obs.NewTracer()
 		gopts.Trace = tracer

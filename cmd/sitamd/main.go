@@ -56,6 +56,7 @@ func main() {
 		maxTimeout  = flag.Duration("max-timeout", serve.DefaultMaxDeadline, "clamp on client-supplied per-job deadlines")
 		budgetCap   = flag.Int64("budget-cap", 0, "clamp on client-supplied eval budgets (0 = unlimited)")
 		journal     = flag.String("journal", "", "append-only job journal path; replayed on restart (empty = no durability)")
+		cacheFile   = flag.String("cache-file", "", "persistent evaluation-cache file shared by all jobs and reloaded on restart (empty = memory-only caching)")
 		traceJobs   = flag.Int("trace-jobs", serve.DefaultRecorderJobs, "finished jobs whose traces the flight recorder retains")
 		traceEvents = flag.Int("trace-events", serve.DefaultRecorderEvents, "events kept per retained trace (head/tail sampled beyond)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-drain grace period: in-flight jobs beyond it are partial-ized")
@@ -75,6 +76,7 @@ func main() {
 			RetryAfter:      *retryAfter,
 			TestHooks:       *testHooks,
 			JournalPath:     *journal,
+			CachePath:       *cacheFile,
 			RecorderJobs:    *traceJobs,
 			RecorderEvents:  *traceEvents,
 			Logf:            log.Printf,

@@ -82,13 +82,22 @@ var suites = []suite{
 		thresholdScale: 2.5,
 		serveLatency:   true,
 	},
+	{
+		name:           "compact",
+		baseline:       "BENCH_compact.json",
+		thresholdScale: 1,
+		runs: []benchRun{
+			{pkg: "./internal/compaction", pattern: "Benchmark_CompactionSharded", benchtime: "2x"},
+			{pkg: ".", pattern: "Benchmark_CachePersistentRestart", benchtime: "2x"},
+		},
+	},
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sitperf: ")
 	var (
-		suitesFlag = flag.String("suites", "incremental,parallel,serve", "comma-separated suites to run")
+		suitesFlag = flag.String("suites", "incremental,parallel,serve,compact", "comma-separated suites to run")
 		iters      = flag.Int("iters", 3, "benchmark repetitions per suite (go test -count); median/MAD computed across them")
 		threshold  = flag.Float64("threshold", 1.5, "regression bar: flag when measured median > baseline * threshold")
 		update     = flag.Bool("update", false, "rewrite the baseline files from this run's medians instead of comparing")
@@ -172,7 +181,7 @@ func selectSuites(names string) ([]suite, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("unknown suite %q (have incremental, parallel, serve)", name)
+			return nil, fmt.Errorf("unknown suite %q (have incremental, parallel, serve, compact)", name)
 		}
 	}
 	if len(out) == 0 {

@@ -58,7 +58,9 @@ func main() {
 		ils      = flag.Int("ils", 0, "iterated-local-search kicks after the greedy optimization (0 = paper's algorithm)")
 		restarts = flag.Int("restarts", 1, "independent ILS restarts with seeds seed, seed+1, ... (only with -ils > 0)")
 		workers  = flag.Int("workers", 0, "concurrent candidate evaluations (0 = GOMAXPROCS, 1 = serial); results are identical at any worker count")
+		cworkers = flag.Int("compact-workers", 0, "concurrent compaction shard workers (0 = serial, -1 = GOMAXPROCS); output is identical at any count")
 		cache    = flag.Int("cache", 0, "evaluation cache capacity in entries (0 = default, negative = disabled)")
+		cacheFil = flag.String("cache-file", "", "persistent evaluation-cache file: loaded before the run, appended during it; a locked or damaged file degrades to memory-only")
 		timeout  = flag.Duration("timeout", 0, "overall deadline; on expiry the best result so far is printed and the exit code is 3 (0 = none)")
 		budget   = flag.Int64("budget", 0, "objective-evaluation budget; on exhaustion the best result so far is printed and the exit code is 3 (0 = unlimited)")
 		traceOut = flag.String("trace", "", "write the structured search trace as JSONL to this file")
@@ -78,10 +80,21 @@ func main() {
 	defer stop()
 
 	cfg := core.ParallelConfig{Workers: *workers, CacheSize: *cache, MaxEvals: *budget}
+	if *cacheFil != "" && *cache >= 0 {
+		cf, cferr := core.OpenCacheFile(*cacheFil)
+		if cferr != nil {
+			// Persistence is an accelerator, never a gate: run memory-only.
+			log.Printf("cache file %s unavailable (%v); continuing without persistence", *cacheFil, cferr)
+		} else {
+			defer cf.Close()
+			cfg.Persist = cf
+		}
+	}
 	o := options{
 		socName: *socName, file: *file, wmax: *wmax, nr: *nr, parts: *parts,
 		seed: *seed, baseline: *baseline, gantt: *gantt, jsonOut: *jsonOut,
 		ils: *ils, restarts: *restarts, stats: *stats, traceFile: *traceOut,
+		compactWorkers: *cworkers,
 	}
 	if *traceOut != "" {
 		o.tracer = obs.NewTracer()
@@ -115,6 +128,7 @@ func main() {
 type options struct {
 	socName, file, jsonOut         string
 	wmax, nr, parts, ils, restarts int
+	compactWorkers                 int
 	seed                           int64
 	baseline, gantt, stats         bool
 	traceFile                      string
@@ -155,7 +169,10 @@ func run(ctx context.Context, o options) (partial bool, reason, cause string, er
 	}
 	span.End(0, int64(len(patterns)))
 
-	grouping, err := core.BuildGroupsCtx(ctx, s, patterns, core.GroupingOptions{Parts: o.parts, Seed: o.seed, Trace: o.sink()})
+	grouping, err := core.BuildGroupsCtx(ctx, s, patterns, core.GroupingOptions{
+		Parts: o.parts, Seed: o.seed, Trace: o.sink(),
+		CompactWorkers: o.compactWorkers, Metrics: o.cfg.Metrics,
+	})
 	if err != nil {
 		return false, "", "", err
 	}

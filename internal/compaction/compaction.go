@@ -187,17 +187,11 @@ func GreedyCtx(ctx context.Context, sp *sifault.Space, patterns []*sifault.Patte
 // GreedyObs is GreedyCtx with tracing: the run is bracketed in a
 // "compaction" phase span labeled with the group name, whose PhaseEnd
 // carries the compacted pattern count; a cut emits a deadline_hit
-// event. A nil sink traces nothing.
+// event. A nil sink traces nothing. For worker-pool parallelism see
+// GreedyWith (sharded.go); the trace and the output are identical at
+// every worker count.
 func GreedyObs(ctx context.Context, sp *sifault.Space, patterns []*sifault.Pattern, sink obs.Sink, group string) ([]*sifault.Pattern, Stats, bool) {
-	span := obs.Span(sink, "compaction")
-	out, stats, cut := greedy(ctx, sp, patterns)
-	if sink != nil {
-		if cut {
-			sink.Emit(obs.Event{Type: obs.DeadlineHit, Phase: "compaction", Group: group, Cause: obs.CtxCause(ctx.Err())})
-		}
-		span.End(0, int64(stats.Compacted))
-	}
-	return out, stats, cut
+	return GreedyWith(ctx, sp, patterns, Config{Workers: 1, Sink: sink, Group: group})
 }
 
 // packPatterns packs every pattern's care list (as PackedWords) and
@@ -238,96 +232,16 @@ func packPatterns(patterns []*sifault.Pattern, busBase int32) (itemsOf [][]sifau
 	return itemsOf
 }
 
+// greedy is the single-worker compaction path: sharded GreedyWith at
+// Workers=1. The fused super-pass loop that used to live here moved to
+// the conflict-index engine (engine.go), which fuses 64 serial seed
+// passes into one stream over the remaining set and answers most
+// accumulator conflicts from bitmask indexes instead of plane probes.
+// First-fit equivalence (the reason any of this is byte-identical to
+// the paper's one-seed-pass-at-a-time greedy) is argued on GreedyWith
+// and in the engine's package comment.
 func greedy(ctx context.Context, sp *sifault.Space, patterns []*sifault.Pattern) ([]*sifault.Pattern, Stats, bool) {
-	acc := newBitsetAccumulator(sp.Total(), sp.BusWidth())
-	itemsOf := packPatterns(patterns, acc.busBase)
-	remaining := make([]int32, len(patterns))
-	var original int64
-	for i, p := range patterns {
-		remaining[i] = int32(i)
-		original += int64(p.Weight)
-	}
-
-	var out []*sifault.Pattern
-	cut := false
-	passes := 0
-
-	// Fused first-fit super-passes. The serial greedy — one seed pass
-	// per output pattern, each streaming the whole remaining set — is
-	// exactly first-fit binning: every candidate joins the FIRST seed
-	// pass that accepts it. First-fit over B open accumulators in one
-	// stream reproduces it bit for bit: when candidate X is reached,
-	// accumulator b holds precisely the candidates before X that were
-	// rejected by accumulators 0..b-1 and accepted by b — the same
-	// prefix state the serial pass b would hold when checking X — and a
-	// candidate rejected by every open accumulator opens the next one,
-	// which is the serial rule "the first reject of a pass seeds the
-	// next pass". So B serial passes fuse into ONE stream over
-	// remaining. The total conflict-check count is unchanged, but the
-	// packed items of a candidate are loaded once per super-pass and
-	// stay L1-hot across all B accumulator checks, and the stream count
-	// over the (multi-MB, DRAM-resident) arena drops by B — this is
-	// what makes the bitset path memory-lean rather than
-	// bandwidth-bound at production scale. B trades accumulator-state
-	// footprint (B × planes must stay cache-resident) against stream
-	// count; 16 keeps the state within L1/L2 on anything current.
-	const fanout = 16
-	accs := make([]*bitsetAccumulator, fanout)
-	accs[0] = acc
-	for b := 1; b < fanout; b++ {
-		accs[b] = newBitsetAccumulator(sp.Total(), sp.BusWidth())
-	}
-	weights := make([]int64, fanout)
-
-	for len(remaining) > 0 {
-		// The context is honored at super-pass granularity (every
-		// fanout output patterns) rather than per seed pass.
-		if ctx.Err() != nil {
-			// Graceful degradation: pass the unmerged remainder
-			// through untouched rather than dropping coverage.
-			cut = true
-			for _, idx := range remaining {
-				out = append(out, patterns[idx])
-			}
-			break
-		}
-		nOpen := 0
-		next := remaining[:0]
-	cand:
-		for _, idx := range remaining {
-			items := itemsOf[idx]
-			for b := 0; b < nOpen; b++ {
-				planes := accs[b].planes
-				for i := range items {
-					w := &items[i]
-					pl := &planes[w.Idx]
-					if pl[0]&w.Care&((pl[1]^w.V0)|(pl[2]^w.V1)) != 0 {
-						goto rejected
-					}
-				}
-				accs[b].merge(items)
-				weights[b] += int64(patterns[idx].Weight)
-				continue cand
-			rejected:
-			}
-			if nOpen < fanout {
-				// Rejected by every open accumulator: this candidate
-				// is the seed of the next serial pass.
-				accs[nOpen].merge(items)
-				weights[nOpen] = int64(patterns[idx].Weight)
-				nOpen++
-				continue
-			}
-			next = append(next, idx)
-		}
-		remaining = next
-		for b := 0; b < nOpen; b++ {
-			out = append(out, accs[b].pattern(weights[b]))
-			accs[b].reset()
-			passes++
-		}
-	}
-	return out, Stats{Original: original, Compacted: len(out), Passes: passes}, cut
+	return greedyWith(ctx, sp, patterns, Config{Workers: 1})
 }
 
 // Compatible reports whether two patterns may be merged, applying both

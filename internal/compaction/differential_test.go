@@ -44,6 +44,10 @@ func samePatternSets(t *testing.T, got, want []*sifault.Pattern) {
 	}
 }
 
+// diffWorkers are the worker counts the sharded path is pinned at:
+// byte-identical output is part of GreedyWith's contract at ANY count.
+var diffWorkers = []int{1, 2, 8}
+
 func TestGreedyBitsetMatchesScalar(t *testing.T) {
 	cases := []struct {
 		fixture string
@@ -67,13 +71,47 @@ func TestGreedyBitsetMatchesScalar(t *testing.T) {
 		}
 		sp := sifault.NewSpace(s)
 		ctx := context.Background()
-		got, gotStats, gotCut := greedy(ctx, sp, patterns)
 		want, wantStats, wantCut := greedyScalar(ctx, sp, patterns)
-		if gotCut || wantCut {
-			t.Fatalf("%s/N=%d/seed=%d: unexpected cut (bitset %v, scalar %v)", tc.fixture, tc.n, tc.seed, gotCut, wantCut)
+		if wantCut {
+			t.Fatalf("%s/N=%d/seed=%d: unexpected scalar cut", tc.fixture, tc.n, tc.seed)
 		}
+		for _, workers := range diffWorkers {
+			got, gotStats, gotCut := greedyWith(ctx, sp, patterns, Config{Workers: workers})
+			if gotCut {
+				t.Fatalf("%s/N=%d/seed=%d/workers=%d: unexpected cut", tc.fixture, tc.n, tc.seed, workers)
+			}
+			if gotStats != wantStats {
+				t.Errorf("%s/N=%d/seed=%d/workers=%d: stats %+v vs scalar %+v", tc.fixture, tc.n, tc.seed, workers, gotStats, wantStats)
+			}
+			samePatternSets(t, got, want)
+		}
+	}
+}
+
+// TestGreedyShardedMultiComponent drives the sharded path on a corpus
+// that actually splits: with the bus and external aggressors disabled
+// every pattern cares about one core only, so the conflict components
+// (and hence the shard plan) are per-core. The merged output must
+// still be byte-identical to the serial scalar reference at every
+// worker count.
+func TestGreedyShardedMultiComponent(t *testing.T) {
+	s := soc.MustLoadBenchmark("d695")
+	cfg := sifault.GenConfig{N: 2500, Seed: 7, BusProb: -1, ExternalProb: -1}
+	patterns, err := sifault.Generate(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sifault.NewSpace(s)
+	plan := sifault.PlanShards(sp, patterns, DefaultMaxShards)
+	if len(plan.Shards) < 2 {
+		t.Fatalf("corpus did not shard: %d shards of %d components", len(plan.Shards), plan.Components)
+	}
+	ctx := context.Background()
+	want, wantStats, _ := greedyScalar(ctx, sp, patterns)
+	for _, workers := range diffWorkers {
+		got, gotStats, _ := greedyWith(ctx, sp, patterns, Config{Workers: workers})
 		if gotStats != wantStats {
-			t.Errorf("%s/N=%d/seed=%d: stats %+v vs scalar %+v", tc.fixture, tc.n, tc.seed, gotStats, wantStats)
+			t.Errorf("workers=%d: stats %+v vs scalar %+v (shards=%d)", workers, gotStats, wantStats, len(plan.Shards))
 		}
 		samePatternSets(t, got, want)
 	}
@@ -143,17 +181,26 @@ func FuzzGreedyMatchesScalar(f *testing.F) {
 	f.Add(uint16(1), int64(0))
 	f.Fuzz(func(t *testing.T, n uint16, seed int64) {
 		s := soc.MustLoadBenchmark("d695")
-		patterns, err := sifault.Generate(s, sifault.GenConfig{N: int(n%500) + 1, Seed: seed})
+		cfg := sifault.GenConfig{N: int(n%500) + 1, Seed: seed}
+		if seed%3 == 0 {
+			// A third of the corpus shards for real: no bus, no
+			// external aggressors -> per-core conflict components.
+			cfg.BusProb = -1
+			cfg.ExternalProb = -1
+		}
+		patterns, err := sifault.Generate(s, cfg)
 		if err != nil {
 			t.Skip()
 		}
 		sp := sifault.NewSpace(s)
 		ctx := context.Background()
-		got, gotStats, _ := greedy(ctx, sp, patterns)
 		want, wantStats, _ := greedyScalar(ctx, sp, patterns)
-		if gotStats != wantStats {
-			t.Fatalf("stats %+v vs scalar %+v", gotStats, wantStats)
+		for _, workers := range diffWorkers {
+			got, gotStats, _ := greedyWith(ctx, sp, patterns, Config{Workers: workers})
+			if gotStats != wantStats {
+				t.Fatalf("workers=%d: stats %+v vs scalar %+v", workers, gotStats, wantStats)
+			}
+			samePatternSets(t, got, want)
 		}
-		samePatternSets(t, got, want)
 	})
 }

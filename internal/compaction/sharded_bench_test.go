@@ -1,0 +1,41 @@
+package compaction
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"sitam/internal/sifault"
+	"sitam/internal/soc"
+)
+
+// Benchmark_CompactionSharded measures the conflict-sharded parallel
+// first-fit against its own serial drain on the paper's N_r=100 000
+// p93791 working point. Every worker count produces byte-identical
+// output (differential + fuzz suites at workers {1,2,8}), so the
+// sub-benches are pure wall-clock; the acceptance bar is a >= 3x
+// speedup of the saturated pool over workers=1. The "patterns" metric
+// pins the compacted count so a plan change that trades output quality
+// for speed cannot hide in the timing.
+func Benchmark_CompactionSharded(b *testing.B) {
+	s := soc.MustLoadBenchmark("p93791")
+	patterns, err := sifault.Generate(s, sifault.GenConfig{N: 100000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := sifault.NewSpace(s)
+	ctx := context.Background()
+	for _, w := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var compacted int
+			for i := 0; i < b.N; i++ {
+				_, stats, cut := greedyWith(ctx, sp, patterns, Config{Workers: w})
+				if cut {
+					b.Fatal("compaction cut without a deadline")
+				}
+				compacted = stats.Compacted
+			}
+			b.ReportMetric(float64(compacted), "patterns")
+		})
+	}
+}

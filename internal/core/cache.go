@@ -41,6 +41,13 @@ type CacheStats struct {
 	// forwarded to the inner evaluator.
 	Hits, Misses int64
 
+	// Loads counts entries seeded from a persistent cache file
+	// (AttachPersistent). Loads are deliberately NOT hits: a hit is an
+	// Evaluate call the cache answered this run, a load is inventory
+	// carried over from a previous process. Conflating them would let a
+	// restarted run report a hit rate it never earned.
+	Loads int64
+
 	// Evictions counts epoch flushes: the cache drops all entries when
 	// it reaches capacity.
 	Evictions int64
@@ -82,9 +89,16 @@ type CachedEvaluator struct {
 
 	capacity     int
 	hits, misses atomic.Int64
+	loads        atomic.Int64
 	evictions    atomic.Int64
 	mu           sync.Mutex
 	entries      map[uint64]cacheEntry
+
+	// persist, when non-nil, receives every freshly evaluated entry so
+	// the next process can start warm (AttachPersistent). Append
+	// failures drop the file silently: persistence is best-effort, the
+	// in-memory cache stays authoritative.
+	persist *CacheFile
 
 	// sink receives per-lookup cache_hit/cache_miss events. Set only
 	// for single-worker runs (NewParallelEngine): under concurrency
@@ -106,6 +120,37 @@ func NewCachedEvaluator(inner Evaluator, capacity int) *CachedEvaluator {
 		Inner:    inner,
 		capacity: capacity,
 		entries:  make(map[uint64]cacheEntry),
+	}
+}
+
+// AttachPersistent seeds the cache from cf's on-disk entries and wires
+// every future miss-store through to the file. Seeded entries count as
+// Loads, never as Hits (see CacheStats.Loads); a single cache_load
+// event with the seeded count goes to the trace sink when one is
+// attached — one deterministic event, so single-worker trace
+// determinism is unaffected. Seeding stops at capacity. Call before
+// the first Evaluate; the method is not safe concurrently with
+// lookups.
+func (c *CachedEvaluator) AttachPersistent(cf *CacheFile) {
+	if cf == nil {
+		return
+	}
+	cf.mu.Lock()
+	n := 0
+	for key, ent := range cf.entries {
+		if len(c.entries) >= c.capacity {
+			break
+		}
+		if _, ok := c.entries[key]; !ok {
+			n++
+		}
+		c.entries[key] = ent
+	}
+	cf.mu.Unlock()
+	c.persist = cf
+	c.loads.Add(int64(n))
+	if c.sink != nil {
+		c.sink.Emit(obs.Event{Type: obs.CacheLoad, N: int64(n)})
 	}
 }
 
@@ -196,7 +241,17 @@ func (c *CachedEvaluator) Evaluate(a *tam.Architecture) (int64, error) {
 		c.evictions.Add(1)
 	}
 	c.entries[key] = ent
+	persist := c.persist
 	c.mu.Unlock()
+	if persist != nil {
+		if perr := persist.Append(key, ent); perr != nil {
+			// Best-effort persistence: a full disk or closed file must
+			// not fail the evaluation or spam retries.
+			c.mu.Lock()
+			c.persist = nil
+			c.mu.Unlock()
+		}
+	}
 	return obj, nil
 }
 
@@ -208,6 +263,7 @@ func (c *CachedEvaluator) Stats() CacheStats {
 	return CacheStats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
+		Loads:     c.loads.Load(),
 		Evictions: c.evictions.Load(),
 		Entries:   n,
 	}
@@ -227,5 +283,6 @@ func (c *CachedEvaluator) Reset() {
 func (c *CachedEvaluator) ResetStats() {
 	c.hits.Store(0)
 	c.misses.Store(0)
+	c.loads.Store(0)
 	c.evictions.Store(0)
 }

@@ -1,0 +1,38 @@
+//go:build unix
+
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// TestCacheFileLocked pins the contention contract: a second opener —
+// same process or another, flock is per file description — gets
+// ErrCacheLocked after the retry window instead of blocking or sharing
+// the file, and the lock dies with Close.
+func TestCacheFileLocked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.sit")
+	cf, err := OpenCacheFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Append(1, testEntry(10, 0x1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCacheFile(path); !errors.Is(err, ErrCacheLocked) {
+		t.Fatalf("second open returned %v, want ErrCacheLocked", err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cf2, err := OpenCacheFile(path)
+	if err != nil {
+		t.Fatalf("open after unlock: %v", err)
+	}
+	defer cf2.Close()
+	if cf2.Loaded() != 1 {
+		t.Fatalf("loaded %d entries after lock cycle, want 1", cf2.Loaded())
+	}
+}

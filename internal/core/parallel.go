@@ -228,6 +228,14 @@ type ParallelConfig struct {
 	// histograms; a snapshot lands on Result.Metrics. nil disables
 	// collection.
 	Metrics *obs.Registry
+
+	// Persist, when non-nil, backs the evaluation cache with a
+	// persistent cache file: its entries seed the cache before the run
+	// (counted as CacheStats.Loads, not hits) and every miss is
+	// appended for the next process. Ignored when CacheSize is
+	// negative. The CacheFile outlives the run — the caller owns its
+	// lifecycle (a daemon keeps one file across jobs and restarts).
+	Persist *CacheFile
 }
 
 // NewParallelEngine builds an Engine whose candidate evaluations run
@@ -260,6 +268,11 @@ func NewParallelEngine(s *soc.SOC, wmax int, eval Evaluator, cfg ParallelConfig)
 				inc.sink = cfg.Trace
 			}
 		}
+	}
+	if cache != nil && cfg.Persist != nil {
+		// After the sink decision above, so a single-worker traced run
+		// records its one deterministic cache_load event.
+		cache.AttachPersistent(cfg.Persist)
 	}
 	if cfg.Metrics != nil {
 		eng.Metrics = cfg.Metrics

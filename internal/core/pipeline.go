@@ -81,6 +81,31 @@ type GroupingOptions struct {
 	// (partitioning and per-group compaction spans); nil disables
 	// tracing.
 	Trace obs.Sink
+
+	// CompactWorkers is the per-group compaction worker-pool size
+	// passed through to compaction.GreedyWith: 0 keeps the serial
+	// default (workers=1), negative uses runtime.GOMAXPROCS(0). The
+	// worker count never changes a single output bit — sharding is
+	// conflict-component exact — only wall-clock.
+	CompactWorkers int
+
+	// Metrics, when non-nil, receives the compaction shard-plan
+	// counters and gauges (compact_shards, compact_shard_imbalance_pct,
+	// ...).
+	Metrics *obs.Registry
+}
+
+// compactWorkers maps the GroupingOptions convention (0 = serial) onto
+// the compaction.Config one (<=0 = GOMAXPROCS).
+func (o GroupingOptions) compactWorkers() int {
+	switch {
+	case o.CompactWorkers == 0:
+		return 1
+	case o.CompactWorkers < 0:
+		return 0
+	default:
+		return o.CompactWorkers
+	}
 }
 
 // BuildGroups runs the paper's two-dimensional SI test-set compaction
@@ -207,7 +232,12 @@ func BuildGroupsCtx(ctx context.Context, s *soc.SOC, patterns []*sifault.Pattern
 		if len(ps) == 0 {
 			return
 		}
-		comp, stats, cut := compaction.GreedyObs(ctx, sp, ps, opts.Trace, name)
+		comp, stats, cut := compaction.GreedyWith(ctx, sp, ps, compaction.Config{
+			Workers: opts.compactWorkers(),
+			Sink:    opts.Trace,
+			Group:   name,
+			Metrics: opts.Metrics,
+		})
 		compactionCut = compactionCut || cut
 		res.Stats.Original += stats.Original
 		res.Stats.Compacted += stats.Compacted
@@ -329,6 +359,7 @@ func (e *Engine) snapshotMetrics(cache *CachedEvaluator) *obs.Snapshot {
 		st := cache.Stats()
 		snap.Counters["cache_hits"] = st.Hits
 		snap.Counters["cache_misses"] = st.Misses
+		snap.Counters["cache_loads"] = st.Loads
 		snap.Counters["cache_evictions"] = st.Evictions
 		snap.Gauges["cache_entries"] = int64(st.Entries)
 	}

@@ -73,6 +73,13 @@ const (
 	CacheHit  Type = "cache_hit"
 	CacheMiss Type = "cache_miss"
 
+	// CacheLoad reports the one-time seeding of the evaluation cache
+	// from a persistent cache file: N carries the entry count loaded.
+	// Loads are not hits — they are inventory carried over from a
+	// previous process, kept distinct so warm-start runs cannot claim a
+	// hit rate they did not earn this run.
+	CacheLoad Type = "cache_load"
+
 	// EvalIncremental reports one incremental objective evaluation: N
 	// carries the dirty-rail count, Recomputed/Memoized the SI groups
 	// whose time was recomputed versus served from the composition
@@ -93,6 +100,7 @@ var knownTypes = map[Type]bool{
 	ILSKick:          true,
 	SIGroupScheduled: true,
 	CacheHit:         true, CacheMiss: true,
+	CacheLoad:       true,
 	EvalIncremental: true,
 	DeadlineHit:     true,
 }
@@ -215,6 +223,10 @@ func (e *Event) Validate() error {
 		}
 		if e.Budget > 0 && e.Power > e.Budget {
 			return fmt.Errorf("obs: si_group_scheduled %q power %d exceeds its own budget %d", e.Group, e.Power, e.Budget)
+		}
+	case CacheLoad:
+		if e.N < 0 {
+			return fmt.Errorf("obs: cache_load event with negative count %d", e.N)
 		}
 	case EvalIncremental:
 		if e.N < 0 || e.Recomputed < 0 || e.Memoized < 0 {

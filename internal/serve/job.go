@@ -327,7 +327,7 @@ type Status struct {
 // optimize, assemble the Outcome. The error return is non-nil only when
 // nothing usable was produced; interruption mid-search yields a partial
 // Outcome and a nil error, exactly like the facade.
-func (j *Job) run(ctx context.Context, hooks bool, maxJobWorkers int) (*Outcome, error) {
+func (j *Job) run(ctx context.Context, hooks bool, maxJobWorkers int, persist *core.CacheFile) (*Outcome, error) {
 	req := j.Req
 	if hooks && req.Chaos != nil {
 		if req.Chaos.SleepMS > 0 {
@@ -375,7 +375,7 @@ func (j *Job) run(ctx context.Context, hooks bool, maxJobWorkers int) (*Outcome,
 	if workers < 1 || workers > maxJobWorkers {
 		workers = maxJobWorkers
 	}
-	cfg := core.ParallelConfig{Workers: workers, MaxEvals: req.MaxEvals, Trace: j.Trace}
+	cfg := core.ParallelConfig{Workers: workers, MaxEvals: req.MaxEvals, Trace: j.Trace, Persist: persist}
 	model := sischedule.DefaultModel()
 
 	var res *core.Result

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sitam/internal/core"
 	"sitam/internal/obs"
 )
 
@@ -55,6 +56,14 @@ type Config struct {
 	// transitions durable in an append-only journal there, replayed on
 	// construction.
 	JournalPath string
+
+	// CachePath, when non-empty, backs every job's evaluation cache
+	// with one persistent cache file: entries costed by any job — or by
+	// a previous process — seed later jobs' caches. The file is opened
+	// at construction and held across drain; a locked or damaged file
+	// degrades to memory-only caching with a log line, never a failed
+	// startup.
+	CachePath string
 
 	// RecorderJobs / RecorderEvents bound the flight recorder: how many
 	// finished jobs keep their trace retrievable via
@@ -116,6 +125,7 @@ func (c *Config) fill() {
 type Scheduler struct {
 	cfg      Config
 	journal  *Journal
+	cache    *core.CacheFile
 	recorder *FlightRecorder
 
 	mu       sync.Mutex
@@ -148,6 +158,16 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 	if cfg.JournalPath != "" {
 		if err := s.recoverJournal(cfg.JournalPath); err != nil {
 			return nil, err
+		}
+	}
+	if cfg.CachePath != "" {
+		cache, err := core.OpenCacheFile(cfg.CachePath)
+		if err != nil {
+			cfg.Logf("cache file %s unavailable (%v); jobs run memory-only", cfg.CachePath, err)
+		} else {
+			s.cache = cache
+			cfg.Metrics.Gauge("serve_cache_entries").Set(int64(cache.Len()))
+			cfg.Logf("cache file %s: %d entries loaded", cfg.CachePath, cache.Loaded())
 		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -318,7 +338,10 @@ func (s *Scheduler) execute(job *Job) {
 		}
 	}()
 
-	outcome, err := job.run(ctx, s.cfg.TestHooks, s.cfg.MaxJobWorkers)
+	outcome, err := job.run(ctx, s.cfg.TestHooks, s.cfg.MaxJobWorkers, s.cache)
+	if s.cache != nil {
+		s.cfg.Metrics.Gauge("serve_cache_entries").Set(int64(s.cache.Len()))
+	}
 	switch {
 	case err == nil && outcome.Partial:
 		s.finalizeJob(job, StatePartial, outcome, "")
@@ -394,6 +417,11 @@ func (s *Scheduler) Drain(ctx context.Context) {
 	if first {
 		if err := s.journal.Close(); err != nil {
 			s.cfg.Logf("journal close: %v", err)
+		}
+		if s.cache != nil {
+			if err := s.cache.Close(); err != nil {
+				s.cfg.Logf("cache file close: %v", err)
+			}
 		}
 	}
 }

@@ -364,3 +364,76 @@ func TestJournalRecovery(t *testing.T) {
 		t.Errorf("second recovery orphaned %d jobs, want 0", got)
 	}
 }
+
+// TestSchedulerPersistentCache pins the daemon-side cache-file
+// lifecycle: entries costed by jobs of one scheduler generation are
+// reloaded by the next, the warm generation's outcomes are
+// byte-identical to the cold one's, and the file survives the drain.
+func TestSchedulerPersistentCache(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "evals.sitcache")
+
+	s1 := newTestScheduler(t, Config{Workers: 1, CachePath: path})
+	if s1.cache == nil {
+		t.Fatal("scheduler did not open the cache file")
+	}
+	a, err := s1.Submit(quickReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := waitTerminal(t, a)
+	if sa.State != StateDone {
+		t.Fatalf("cold job state = %s (%s)", sa.State, sa.Error)
+	}
+	if n := s1.cache.Len(); n == 0 {
+		t.Fatal("cold job persisted no cache entries")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s1.Drain(ctx)
+
+	// "Restart": a new scheduler generation over the same file.
+	s2 := newTestScheduler(t, Config{Workers: 1, CachePath: path})
+	if s2.cache == nil {
+		t.Fatal("restarted scheduler did not reopen the cache file")
+	}
+	if s2.cache.Loaded() == 0 {
+		t.Fatal("restarted scheduler loaded no entries from the cache file")
+	}
+	b, err := s2.Submit(quickReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := waitTerminal(t, b)
+	if sb.State != StateDone {
+		t.Fatalf("warm job state = %s (%s)", sb.State, sb.Error)
+	}
+	// The cache is a pure accelerator: the warm run's outcome must be
+	// indistinguishable from the cold run's.
+	if !reflect.DeepEqual(sa.Result, sb.Result) {
+		t.Errorf("warm outcome diverged from cold:\n%+v\n%+v", sa.Result, sb.Result)
+	}
+	if got := s2.Metrics().Snapshot().Gauges["serve_cache_entries"]; got == 0 {
+		t.Error("serve_cache_entries gauge not maintained")
+	}
+}
+
+// TestSchedulerCacheFileLocked: a second daemon generation pointed at a
+// still-locked cache file must start and serve jobs memory-only.
+func TestSchedulerCacheFileLocked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "evals.sitcache")
+	s1 := newTestScheduler(t, Config{Workers: 1, CachePath: path})
+	if s1.cache == nil {
+		t.Fatal("first scheduler did not open the cache file")
+	}
+	s2 := newTestScheduler(t, Config{Workers: 1, CachePath: path})
+	if s2.cache != nil {
+		t.Fatal("second scheduler shares the locked cache file")
+	}
+	job, err := s2.Submit(quickReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, job); st.State != StateDone {
+		t.Fatalf("memory-only job state = %s (%s)", st.State, st.Error)
+	}
+}

@@ -1,0 +1,208 @@
+package sifault
+
+import "sort"
+
+// Conflict-component sharding of a pattern corpus for parallel
+// compaction (internal/compaction).
+//
+// Two patterns can only conflict — and therefore only influence each
+// other's greedy first-fit placement — when they share a care POSITION
+// or occupy the same shared-bus line from different driving cores.
+// (Sharing a position with compatible symbols is glued too — the
+// partition is symbol-blind, which is conservative and safe.) Patterns
+// on the same line from the SAME driver never conflict through that
+// line, so a pure single-driver line does not glue its users together.
+//
+// The transitive closure of that relation partitions the corpus into
+// conflict components. First-fit binning respects the partition
+// exactly: the bin index a pattern receives from serial first-fit over
+// the whole stream equals its bin index from first-fit over its
+// component alone, because bins never hold cross-component conflicts —
+// a bin either contains a member of the pattern's component (and the
+// local stream replays the same accept/reject verdicts in the same
+// order) or accepts the pattern outright. Consequently global bin b is
+// the disjoint union of every component's local bin b, and a sharded
+// run that merges per-shard bins index-by-index is byte-identical to
+// the serial result at any worker count. internal/compaction relies on
+// this invariant; TestShardComponentsNeverConflict pins the
+// no-cross-component-conflict half, and the compaction differential
+// suite pins the end-to-end identity.
+
+// ShardPlan describes a deterministic partition of a pattern corpus
+// into independently compactable shards.
+type ShardPlan struct {
+	// Shards holds, per shard, the indices into the planned pattern
+	// slice, ascending. Every input index appears in exactly one
+	// shard. Shards are ordered by their smallest pattern index.
+	Shards [][]int32
+
+	// Components is the number of conflict components found (>= the
+	// number of shards).
+	Components int
+}
+
+// uf is a plain union-find with path halving.
+type uf struct{ parent []int32 }
+
+func newUF(n int) *uf {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return &uf{parent: p}
+}
+
+func (u *uf) find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *uf) union(a, b int32) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// PlanShards partitions patterns into at most maxShards conflict-closed
+// shards: patterns from different shards are never incompatible, so
+// each shard can be first-fit compacted independently and the per-shard
+// bins merged index-by-index without changing a single output bit (see
+// the package comment above). Components are balanced across shards by
+// total care size, deterministically — the plan depends only on the
+// pattern slice, never on worker count or scheduling. Patterns with no
+// care data and no bus occupation conflict with nothing and are
+// gathered in the first shard.
+func PlanShards(sp *Space, patterns []*Pattern, maxShards int) ShardPlan {
+	if maxShards < 1 {
+		maxShards = 1
+	}
+	nPos := sp.Total()
+	nBus := sp.BusWidth()
+
+	// Pre-scan: find the lines that ever see two distinct drivers. Only
+	// those glue their users together — any two users of a mixed line
+	// either conflict directly (different drivers) or can be bridged by
+	// a third user with yet another driver, so the safe closure unions
+	// them all. A line driven by a single core throughout can never
+	// carry a conflict and glues nothing.
+	lineDriver := make([]int32, nBus)
+	lineSeen := make([]bool, nBus)
+	mixed := make([]bool, nBus)
+	for _, p := range patterns {
+		for _, b := range p.Bus {
+			if !lineSeen[b.Line] {
+				lineSeen[b.Line] = true
+				lineDriver[b.Line] = b.Driver
+			} else if lineDriver[b.Line] != b.Driver {
+				mixed[b.Line] = true
+			}
+		}
+	}
+
+	// Union-find node space: one node per WOC position plus one per bus
+	// line (the line nodes matter only for mixed lines).
+	u := newUF(nPos + nBus)
+
+	anchor := make([]int32, len(patterns)) // representative node per pattern, -1 if none
+	for pi, p := range patterns {
+		first := int32(-1)
+		for _, c := range p.Care {
+			if first < 0 {
+				first = c.Pos
+			} else {
+				u.union(first, c.Pos)
+			}
+		}
+		for _, b := range p.Bus {
+			if !mixed[b.Line] {
+				continue
+			}
+			n := int32(nPos) + b.Line
+			if first < 0 {
+				first = n
+			} else {
+				u.union(first, n)
+			}
+		}
+		anchor[pi] = first
+	}
+
+	// Gather components in first-pattern-index order.
+	compOf := make(map[int32]int32)
+	var compPatterns [][]int32
+	var compSize []int64
+	for pi, p := range patterns {
+		a := anchor[pi]
+		if a < 0 {
+			a = -1 // all empty patterns share one pseudo-component
+		} else {
+			a = u.find(a)
+		}
+		ci, ok := compOf[a]
+		if !ok {
+			ci = int32(len(compPatterns))
+			compOf[a] = ci
+			compPatterns = append(compPatterns, nil)
+			compSize = append(compSize, 0)
+		}
+		compPatterns[ci] = append(compPatterns[ci], int32(pi))
+		compSize[ci] += int64(len(p.Care) + len(p.Bus) + 1)
+	}
+	nComp := len(compPatterns)
+
+	nShards := nComp
+	if nShards > maxShards {
+		nShards = maxShards
+	}
+	if nShards == 0 {
+		return ShardPlan{Components: 0}
+	}
+
+	// Balance components over shards by size: biggest first, each to
+	// the least-loaded shard (ties to the lowest shard index). Sorting
+	// is by (size desc, component index asc) — fully deterministic.
+	order := make([]int32, nComp)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if compSize[a] != compSize[b] {
+			return compSize[a] > compSize[b]
+		}
+		return a < b
+	})
+	load := make([]int64, nShards)
+	shardOf := make([]int32, nComp)
+	for _, ci := range order {
+		best := 0
+		for s := 1; s < nShards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		shardOf[ci] = int32(best)
+		load[best] += compSize[ci]
+	}
+
+	shards := make([][]int32, nShards)
+	for ci, idxs := range compPatterns {
+		s := shardOf[ci]
+		shards[s] = append(shards[s], idxs...)
+	}
+	// Each shard's indices ascending, shards ordered by smallest index.
+	// Drop empty shards (when components cluster onto few shards).
+	out := shards[:0]
+	for _, s := range shards {
+		if len(s) > 0 {
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return ShardPlan{Shards: out, Components: nComp}
+}

@@ -1,0 +1,212 @@
+package sifault
+
+import (
+	"testing"
+
+	"sitam/internal/soc"
+)
+
+// The shard plan's load-bearing invariant: patterns from different
+// shards NEVER conflict — neither through shared care words nor
+// through mixed-driver bus lines. Everything the sharded compactor
+// does (independent first-fit, bin-wise merge) rests on it.
+
+func planFor(t *testing.T, fixture string, cfg GenConfig, maxShards int) (*Space, []*Pattern, ShardPlan) {
+	t.Helper()
+	s := soc.MustLoadBenchmark(fixture)
+	patterns, err := Generate(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := NewSpace(s)
+	return sp, patterns, PlanShards(sp, patterns, maxShards)
+}
+
+func checkPlanShape(t *testing.T, patterns []*Pattern, plan ShardPlan, maxShards int) {
+	t.Helper()
+	if len(plan.Shards) > maxShards {
+		t.Fatalf("%d shards exceeds maxShards=%d", len(plan.Shards), maxShards)
+	}
+	seen := make([]bool, len(patterns))
+	prevFirst := int32(-1)
+	for si, shard := range plan.Shards {
+		if len(shard) == 0 {
+			t.Fatalf("shard %d is empty", si)
+		}
+		if shard[0] <= prevFirst {
+			t.Fatalf("shard %d starts at %d, not after previous shard's first index %d", si, shard[0], prevFirst)
+		}
+		prevFirst = shard[0]
+		prev := int32(-1)
+		for _, idx := range shard {
+			if idx <= prev {
+				t.Fatalf("shard %d indices not strictly ascending at %d", si, idx)
+			}
+			prev = idx
+			if idx < 0 || int(idx) >= len(patterns) {
+				t.Fatalf("shard %d holds out-of-range index %d", si, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("pattern %d appears in two shards", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("pattern %d missing from every shard", i)
+		}
+	}
+}
+
+// conflicts is an independent (slow) conflict oracle: shared care
+// position with incompatible symbols, or a shared bus line with
+// different drivers.
+func conflicts(a, b *Pattern) bool {
+	i, j := 0, 0
+	for i < len(a.Care) && j < len(b.Care) {
+		switch {
+		case a.Care[i].Pos < b.Care[j].Pos:
+			i++
+		case a.Care[i].Pos > b.Care[j].Pos:
+			j++
+		default:
+			if !a.Care[i].Sym.CompatibleWith(b.Care[j].Sym) {
+				return true
+			}
+			i++
+			j++
+		}
+	}
+	i, j = 0, 0
+	for i < len(a.Bus) && j < len(b.Bus) {
+		switch {
+		case a.Bus[i].Line < b.Bus[j].Line:
+			i++
+		case a.Bus[i].Line > b.Bus[j].Line:
+			j++
+		default:
+			if a.Bus[i].Driver != b.Bus[j].Driver {
+				return true
+			}
+			i++
+			j++
+		}
+	}
+	return false
+}
+
+func TestShardComponentsNeverConflict(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  GenConfig
+	}{
+		{"default", GenConfig{N: 600, Seed: 11}},
+		{"no-bus-no-ext", GenConfig{N: 600, Seed: 12, BusProb: -1, ExternalProb: -1}},
+		{"bus-heavy", GenConfig{N: 400, Seed: 13, BusProb: 1.0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, patterns, plan := planFor(t, "d695", tc.cfg, 8)
+			checkPlanShape(t, patterns, plan, 8)
+			for si := 0; si < len(plan.Shards); si++ {
+				for sj := si + 1; sj < len(plan.Shards); sj++ {
+					for _, a := range plan.Shards[si] {
+						for _, b := range plan.Shards[sj] {
+							if conflicts(patterns[a], patterns[b]) {
+								t.Fatalf("cross-shard conflict: pattern %d (shard %d) vs %d (shard %d)", a, si, b, sj)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardPlanDeterministic pins that the plan is a pure function of
+// the corpus — independent of call count or anything ambient.
+func TestShardPlanDeterministic(t *testing.T) {
+	sp, patterns, plan1 := planFor(t, "d695", GenConfig{N: 800, Seed: 21, BusProb: -1, ExternalProb: -1}, 8)
+	plan2 := PlanShards(sp, patterns, 8)
+	if plan1.Components != plan2.Components || len(plan1.Shards) != len(plan2.Shards) {
+		t.Fatalf("plans differ in shape: %d/%d vs %d/%d components/shards",
+			plan1.Components, len(plan1.Shards), plan2.Components, len(plan2.Shards))
+	}
+	for si := range plan1.Shards {
+		if len(plan1.Shards[si]) != len(plan2.Shards[si]) {
+			t.Fatalf("shard %d sizes differ", si)
+		}
+		for k := range plan1.Shards[si] {
+			if plan1.Shards[si][k] != plan2.Shards[si][k] {
+				t.Fatalf("shard %d entry %d differs: %d vs %d", si, k, plan1.Shards[si][k], plan2.Shards[si][k])
+			}
+		}
+	}
+}
+
+// TestShardEmptyPatterns: patterns with no care and no bus conflict
+// with nothing; they must still be planned (exactly once) and must not
+// union unrelated components together.
+func TestShardEmptyPatterns(t *testing.T) {
+	s := soc.MustLoadBenchmark("d695")
+	sp := NewSpace(s)
+	base, err := Generate(s, GenConfig{N: 60, Seed: 31, BusProb: -1, ExternalProb: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := append([]*Pattern{{VictimPos: -1, VictimCore: -1, Weight: 1}}, base...)
+	patterns = append(patterns, &Pattern{VictimPos: -1, VictimCore: -1, Weight: 1})
+	plan := PlanShards(sp, patterns, 4)
+	checkPlanShape(t, patterns, plan, 4)
+	withCare := PlanShards(sp, base, 4)
+	if plan.Components != withCare.Components+1 {
+		t.Fatalf("empty patterns should form exactly one extra component: %d vs %d+1", plan.Components, withCare.Components)
+	}
+}
+
+// TestShardBusDriverRule: a bus line driven by a single core glues
+// nothing (its users can share a bin), while a mixed-driver line joins
+// every user into one component.
+func TestShardBusDriverRule(t *testing.T) {
+	s := soc.MustLoadBenchmark("d695")
+	sp := NewSpace(s)
+	mk := func(pos int32, sym Symbol, line, driver int32) *Pattern {
+		return &Pattern{
+			Care:       []Care{{Pos: pos, Sym: sym}},
+			Bus:        []BusUse{{Line: line, Driver: driver}},
+			VictimPos:  pos,
+			VictimCore: -1,
+			Weight:     1,
+		}
+	}
+	// Two patterns on line 0, same driver, care in far-apart words.
+	pure := []*Pattern{mk(0, Zero, 0, 1), mk(512, Zero, 0, 1)}
+	if plan := PlanShards(sp, pure, 8); plan.Components != 2 {
+		t.Fatalf("pure same-driver line glued users: %d components, want 2", plan.Components)
+	}
+	// Same, but the drivers differ: one component.
+	mixed := []*Pattern{mk(0, Zero, 0, 1), mk(512, Zero, 0, 2)}
+	if plan := PlanShards(sp, mixed, 8); plan.Components != 1 {
+		t.Fatalf("mixed-driver line did not glue users: %d components, want 1", plan.Components)
+	}
+	// Three users: two distinct drivers plus a repeat of the first —
+	// all three are one component (any pair can conflict via the line).
+	three := []*Pattern{mk(0, Zero, 0, 1), mk(512, Zero, 0, 2), mk(1024, Zero, 0, 1)}
+	if plan := PlanShards(sp, three, 8); plan.Components != 1 {
+		t.Fatalf("mixed line with repeat driver: %d components, want 1", plan.Components)
+	}
+}
+
+// TestShardMaxShardsClamp: more components than maxShards must fold
+// deterministically into exactly maxShards shards.
+func TestShardMaxShardsClamp(t *testing.T) {
+	_, patterns, plan := planFor(t, "d695", GenConfig{N: 500, Seed: 41, BusProb: -1, ExternalProb: -1}, 3)
+	if plan.Components < 4 {
+		t.Skipf("corpus produced only %d components", plan.Components)
+	}
+	if len(plan.Shards) != 3 {
+		t.Fatalf("%d shards, want exactly 3 with %d components", len(plan.Shards), plan.Components)
+	}
+	checkPlanShape(t, patterns, plan, 3)
+}
