@@ -7,10 +7,24 @@
 //	detrand       no global math/rand or time.Now in the deterministic search path
 //	traceevent    obs.Event literals use typed constants; phase spans balance
 //	errwrapcheck  sentinel errors use errors.Is and %w
+//	lockorder     mutex/flock release discipline and canonical lock ordering
+//	gorojoin      every go statement in the serving/parallel layers provably joins
+//	fsyncack      journal writes fsync before acknowledgement; durable errors checked
+//	detmerge      parallel reductions merge in deterministic index order
+//	metricvocab   /metrics series names come from the closed DESIGN §13 vocabulary
 //
-// Two modes:
+// The last five are fact-based: they export object facts (what locks a
+// function takes, whether a helper fsyncs, whether its returns stay
+// inside the metric vocabulary) that flow to importing packages, so
+// cross-package violations surface at the caller. Standalone mode runs
+// one session over the whole module in dependency order; vettool mode
+// round-trips the facts through the .vetx files of the go vet protocol.
+//
+// Modes:
 //
 //	sitlint ./...                            # standalone, like a linter
+//	sitlint -sarif ./...                     # standalone, SARIF 2.1.0 on stdout
+//	sitlint -audit ./...                     # suppression audit: stale //sitlint:allow
 //	go vet -vettool=$(pwd)/sitlint ./...     # as a vet tool in CI
 //
 // In vettool mode sitlint implements the protocol `go vet` expects of
@@ -21,7 +35,8 @@
 // with no flags every analyzer runs; naming analyzers (-railmutate
 // -detrand) runs only those.
 //
-// Exit status: 0 clean, 1 operational error, 2 diagnostics reported.
+// Exit status: 0 clean, 1 operational error, 2 diagnostics reported
+// (or, under -audit, stale/unknown suppression directives found).
 package main
 
 import (
@@ -41,14 +56,23 @@ import (
 
 	"sitam/internal/analysis"
 	"sitam/internal/analysis/load"
+	"sitam/internal/analysis/sarif"
 	"sitam/internal/analysis/suite"
 )
+
+// modulePath scopes which compilation units get analyzed (and have
+// facts computed) in vettool mode; everything else only relays facts.
+const modulePath = "sitam"
 
 func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
 func run(args []string) int {
+	// Fact types must be gob-registered before any .vetx file or
+	// session is touched.
+	analysis.RegisterFactTypes(suite.Analyzers())
+
 	// The -V=full handshake must come before flag parsing: the go
 	// command invokes it to compute the tool's build ID.
 	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
@@ -57,6 +81,8 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet("sitlint", flag.ContinueOnError)
 	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (vettool protocol)")
+	sarifOut := fs.Bool("sarif", false, "standalone mode: emit SARIF 2.1.0 to stdout")
+	audit := fs.Bool("audit", false, "standalone mode: audit //sitlint:allow directives for staleness")
 	enabled := map[string]*bool{}
 	for _, a := range suite.Analyzers() {
 		enabled[a.Name] = fs.Bool(a.Name, false, "run only the named analyzers: "+firstLine(a.Doc))
@@ -74,7 +100,9 @@ func run(args []string) int {
 			analyzers = append(analyzers, a)
 		}
 	}
-	if len(analyzers) == 0 {
+	if len(analyzers) == 0 || *audit {
+		// The audit needs the full suite: a directive is only provably
+		// stale after every analyzer it names has run.
 		analyzers = suite.Analyzers()
 	}
 
@@ -82,7 +110,7 @@ func run(args []string) int {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return runUnit(analyzers, rest[0])
 	}
-	return runStandalone(analyzers, rest)
+	return runStandalone(analyzers, rest, *sarifOut, *audit)
 }
 
 func firstLine(s string) string {
@@ -151,6 +179,12 @@ type vetConfig struct {
 }
 
 // runUnit analyzes one compilation unit described by a vet .cfg file.
+// Facts flow through the protocol: the .vetx files of the unit's
+// dependencies (PackageVetx) seed the session, the unit's own analysis
+// adds to it, and the union is written to VetxOutput for units that
+// import this one. Dependency-only units of the module (VetxOnly) run
+// the analyzers with diagnostics discarded — their facts are needed,
+// their findings are reported when the package is vetted as a target.
 func runUnit(analyzers []*analysis.Analyzer, cfgFile string) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -162,24 +196,59 @@ func runUnit(analyzers []*analysis.Analyzer, cfgFile string) int {
 		fmt.Fprintf(os.Stderr, "sitlint: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	// The suite carries no cross-package facts, so dependency-only
-	// units need no analysis — just the (empty) facts file the go
-	// command expects as the action's output.
-	if !cfg.VetxOnly {
-		if code := analyzeUnit(analyzers, &cfg); code != 0 {
+
+	session := analysis.NewSession()
+	for _, vetx := range cfg.PackageVetx {
+		f, err := os.Open(vetx)
+		if err != nil {
+			continue // a dep analyzed by an older tool build; facts degrade gracefully
+		}
+		derr := session.DecodeFacts(f)
+		f.Close()
+		if derr != nil {
+			fmt.Fprintf(os.Stderr, "sitlint: reading facts %s: %v\n", vetx, derr)
+			return 1
+		}
+	}
+
+	if inModule(cfg.ImportPath) {
+		if code := analyzeUnit(session, analyzers, &cfg, !cfg.VetxOnly); code != 0 {
 			return code
 		}
 	}
 	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		f, err := os.Create(cfg.VetxOutput)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "sitlint:", err)
+			return 1
+		}
+		eerr := session.EncodeFacts(f)
+		cerr := f.Close()
+		if eerr == nil {
+			eerr = cerr
+		}
+		if eerr != nil {
+			fmt.Fprintln(os.Stderr, "sitlint:", eerr)
 			return 1
 		}
 	}
 	return 0
 }
 
-func analyzeUnit(analyzers []*analysis.Analyzer, cfg *vetConfig) int {
+// inModule reports whether the (possibly test-variant) unit path
+// belongs to this module.
+func inModule(importPath string) bool {
+	p := plainImportPath(importPath)
+	return p == modulePath || strings.HasPrefix(p, modulePath+"/")
+}
+
+// plainImportPath strips the test-variant decorations the go command
+// adds ("pkg [pkg.test]", "pkg.test").
+func plainImportPath(importPath string) string {
+	return strings.TrimSuffix(strings.SplitN(importPath, " ", 2)[0], ".test")
+}
+
+func analyzeUnit(session *analysis.Session, analyzers []*analysis.Analyzer, cfg *vetConfig, report bool) int {
 	fset := token.NewFileSet()
 	files := make([]*ast.File, 0, len(cfg.GoFiles))
 	for _, name := range cfg.GoFiles {
@@ -225,21 +294,21 @@ func analyzeUnit(analyzers []*analysis.Analyzer, cfg *vetConfig) int {
 		return 1
 	}
 	// Test variants list the package under paths like "pkg [pkg.test]";
-	// analyzers match on the plain import path.
+	// analyzers (and fact keys) match on the plain import path.
 	pkg := &analysis.Package{
-		Path:      strings.TrimSuffix(strings.SplitN(cfg.ImportPath, " ", 2)[0], ".test"),
+		Path:      plainImportPath(cfg.ImportPath),
 		Fset:      fset,
 		Files:     files,
 		Types:     tpkg,
 		TypesInfo: info,
 	}
-	if pkg.Path != tpkg.Path() {
-		pkg.Types = tpkg // path used only for scoping decisions
-	}
-	diags, err := analysis.RunAll(analyzers, []*analysis.Package{pkg})
+	diags, err := analysis.RunAllSession(session, analyzers, []*analysis.Package{pkg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sitlint:", err)
 		return 1
+	}
+	if !report {
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
@@ -250,9 +319,11 @@ func analyzeUnit(analyzers []*analysis.Analyzer, cfg *vetConfig) int {
 	return 0
 }
 
-// runStandalone loads packages by pattern and analyzes them, printing
-// diagnostics to stdout with paths relative to the working directory.
-func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
+// runStandalone loads packages by pattern and analyzes them in one
+// session in dependency order (so facts propagate), printing
+// diagnostics to stdout with paths relative to the working directory —
+// or as SARIF with -sarif, or as a suppression audit with -audit.
+func runStandalone(analyzers []*analysis.Analyzer, patterns []string, sarifOut, audit bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -266,24 +337,96 @@ func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
 		fmt.Fprintln(os.Stderr, "sitlint:", err)
 		return 1
 	}
-	count := 0
-	for _, pkg := range pkgs {
-		diags, err := analysis.RunAll(analyzers, []*analysis.Package{pkg})
-		if err != nil {
+	session := analysis.NewSession()
+	diags, err := analysis.RunAllSession(session, analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sitlint:", err)
+		return 1
+	}
+
+	relative := func(name string) string {
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+		return name
+	}
+
+	if audit {
+		return runAudit(session, relative)
+	}
+
+	if sarifOut {
+		rules := make([]sarif.Rule, 0, len(analyzers))
+		for _, a := range analyzers {
+			rules = append(rules, sarif.Rule{ID: a.Name, ShortDescription: sarif.Message{Text: firstLine(a.Doc)}})
+		}
+		log := sarif.NewLog("sitlint", "https://sitam.invalid/sitlint", "file://"+filepath.ToSlash(cwd)+"/", rules)
+		for _, d := range diags {
+			pos := fsetFor(pkgs, d).Position(d.Pos)
+			log.AddResult(d.Analyzer, d.Message, filepath.ToSlash(relative(pos.Filename)), pos.Line, pos.Column)
+		}
+		if err := log.Write(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "sitlint:", err)
 			return 1
 		}
-		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
-			name := pos.Filename
-			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
+		if len(diags) > 0 {
+			return 2
+		}
+		return 0
+	}
+
+	for _, d := range diags {
+		pos := fsetFor(pkgs, d).Position(d.Pos)
+		fmt.Printf("%s:%d:%d: %s: %s\n", relative(pos.Filename), pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// fsetFor returns the FileSet positions resolve against. All packages
+// of one load share a FileSet; the indirection keeps that assumption
+// in one place.
+func fsetFor(pkgs []*analysis.Package, _ analysis.Diagnostic) *token.FileSet {
+	return pkgs[0].Fset
+}
+
+// runAudit reports every //sitlint:allow directive that names an
+// unknown analyzer or suppressed nothing during the full-suite run.
+// Exit 2 when any directive is stale — a suppression that suppresses
+// nothing is a future false negative waiting for code to drift under
+// it.
+func runAudit(session *analysis.Session, relative func(string) string) int {
+	known := map[string]bool{"all": true}
+	for _, a := range suite.Analyzers() {
+		known[a.Name] = true
+	}
+	directives := session.Directives()
+	bad := 0
+	for _, d := range directives {
+		var unknown, stale []string
+		for _, n := range d.Names {
+			if !known[n] {
+				unknown = append(unknown, n)
 			}
-			fmt.Printf("%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
-			count++
+		}
+		for _, n := range d.Stale() {
+			if known[n] {
+				stale = append(stale, n)
+			}
+		}
+		if len(unknown) > 0 {
+			fmt.Printf("%s:%d: unknown analyzer in //sitlint:allow: %s\n", relative(d.File), d.Line, strings.Join(unknown, ", "))
+			bad++
+		}
+		if len(stale) > 0 {
+			fmt.Printf("%s:%d: stale //sitlint:allow %s: suppresses nothing; remove it or fix the justification\n", relative(d.File), d.Line, strings.Join(stale, ", "))
+			bad++
 		}
 	}
-	if count > 0 {
+	fmt.Printf("sitlint audit: %d directive(s), %d problem(s)\n", len(directives), bad)
+	if bad > 0 {
 		return 2
 	}
 	return 0

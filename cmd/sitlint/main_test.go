@@ -80,7 +80,10 @@ func TestFlagsHandshake(t *testing.T) {
 		}
 		got[d.Name] = true
 	}
-	for _, want := range []string{"ctxflow", "detrand", "errwrapcheck", "railmutate", "traceevent"} {
+	for _, want := range []string{
+		"ctxflow", "detmerge", "detrand", "errwrapcheck", "fsyncack",
+		"gorojoin", "lockorder", "metricvocab", "railmutate", "traceevent",
+	} {
 		if !got[want] {
 			t.Errorf("-flags output missing analyzer %s: %s", want, out)
 		}
@@ -174,6 +177,234 @@ func TestVettoolFlagsReintroducedViolations(t *testing.T) {
 		if n != want {
 			t.Errorf("analyzer %s: got %d diagnostics, want %d\noutput:\n%s", name, n, want, out)
 		}
+	}
+}
+
+// serveViolations reintroduces one violation per concurrency/durability
+// analyzer inside internal/serve, where the real invariants live:
+// lockorder (a return while holding the scheduler lock, and a
+// Job-before-Scheduler inversion), gorojoin (a detached goroutine),
+// fsyncack (a raw journal-fd write outside the owner, a discarded
+// same-package Journal.Append error, and a discarded cross-package
+// core.CacheFile.Sync error — the last one only fails if Durable facts
+// really flow through the vet .vetx protocol), and metricvocab (a
+// concatenated series name).
+const serveViolations = `package serve
+
+func zzLockLeak(s *Scheduler, x bool) {
+	s.mu.Lock()
+	if x {
+		return
+	}
+	s.mu.Unlock()
+}
+
+func zzInvert(s *Scheduler, j *Job) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+func zzDetached() {
+	go func() {}()
+}
+
+func zzRawWrite(j *Journal, b []byte) {
+	j.f.Write(b)
+}
+
+func zzDiscard(s *Scheduler) {
+	s.journal.Append(JournalEntry{})
+}
+
+func zzCrossDiscard(s *Scheduler) {
+	s.cache.Sync()
+}
+
+func zzBadMetric(s *Scheduler, name string) {
+	s.cfg.Metrics.Counter("zz_" + name).Inc()
+}
+`
+
+// compactionViolations reintroduces a detmerge violation on a declared
+// merge root.
+const compactionViolations = `package compaction
+
+//sitlint:detmerge-root
+func zzMerge(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`
+
+// TestVettoolReintroducedFactViolations overlays concurrency,
+// durability and determinism violations into internal/serve and
+// internal/compaction and asserts `go vet -vettool=sitlint` fails with
+// every fact-based analyzer represented at the expected multiplicity.
+func TestVettoolReintroducedFactViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go vet; skipped in -short mode")
+	}
+	bin := buildTool(t)
+	root := repoRoot(t)
+	tmp := t.TempDir()
+
+	serveFile := filepath.Join(tmp, "zz_serve_violation.go")
+	if err := os.WriteFile(serveFile, []byte(serveViolations), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	compactFile := filepath.Join(tmp, "zz_compaction_violation.go")
+	if err := os.WriteFile(compactFile, []byte(compactionViolations), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	overlay := filepath.Join(tmp, "overlay.json")
+	ov, err := json.Marshal(map[string]map[string]string{
+		"Replace": {
+			filepath.Join(root, "internal/serve/zz_serve_violation.go"):           serveFile,
+			filepath.Join(root, "internal/compaction/zz_compaction_violation.go"): compactFile,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(overlay, ov, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "-overlay="+overlay,
+		"sitam/internal/serve", "sitam/internal/compaction")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet succeeded on a tree with reintroduced violations:\n%s", out)
+	}
+
+	wantCounts := map[string]int{
+		"lockorder":   2, // return-while-held + inversion
+		"gorojoin":    1,
+		"fsyncack":    3, // raw fd write + discarded Append + discarded cross-package Sync
+		"metricvocab": 1,
+		"detmerge":    1,
+	}
+	for name, want := range wantCounts {
+		n := 0
+		for _, line := range strings.Split(string(out), "\n") {
+			if strings.Contains(line, "_violation.go:") && strings.Contains(line, ": "+name+": ") {
+				n++
+			}
+		}
+		if n != want {
+			t.Errorf("analyzer %s: got %d diagnostics, want %d\noutput:\n%s", name, n, want, out)
+		}
+	}
+}
+
+// TestSarifCleanTree validates the -sarif exposition on the clean
+// module: well-formed JSON, the right version/schema pair, the full
+// rule set, and an empty (but present) results array.
+func TestSarifCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module; skipped in -short mode")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "-sarif", "./...")
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("sitlint -sarif ./... failed: %v\n%s", err, out)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Schema  string `json:"$schema"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("-sarif output is not JSON: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif") {
+		t.Fatalf("version/schema = %q/%q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "sitlint" {
+		t.Fatalf("runs malformed: %s", out)
+	}
+	if got := len(log.Runs[0].Tool.Driver.Rules); got != 10 {
+		t.Fatalf("rules = %d, want 10", got)
+	}
+	if log.Runs[0].Results == nil {
+		t.Fatal("results array absent; SARIF requires it even when empty")
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Fatalf("clean tree produced findings:\n%s", out)
+	}
+}
+
+// TestAuditCleanTree requires zero stale //sitlint:allow directives on
+// the real tree.
+func TestAuditCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module; skipped in -short mode")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "-audit", "./...")
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("sitlint -audit ./... failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "0 problem(s)") {
+		t.Fatalf("audit output does not report zero problems:\n%s", out)
+	}
+}
+
+// TestAuditFlagsStaleDirective runs the audit over a scratch module
+// holding one //sitlint:allow that suppresses nothing and asserts exit
+// 2 with the stale report.
+func TestAuditFlagsStaleDirective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short mode")
+	}
+	bin := buildTool(t)
+	tmp := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte("module zzaudit\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package zzaudit
+
+//sitlint:allow detrand — stale: nothing below uses randomness
+func F() int { return 1 }
+
+//sitlint:allow nosuchanalyzer — typo'd name
+func G() int { return 2 }
+`
+	if err := os.WriteFile(filepath.Join(tmp, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-audit", "./...")
+	cmd.Dir = tmp
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("audit on stale directive: err=%v, want exit 2\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "stale //sitlint:allow detrand") {
+		t.Errorf("missing stale report:\n%s", out)
+	}
+	if !strings.Contains(string(out), "unknown analyzer") {
+		t.Errorf("missing unknown-analyzer report:\n%s", out)
 	}
 }
 

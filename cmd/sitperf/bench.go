@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strconv"
+	"time"
 )
 
 // benchLine matches one benchmark result line; the -\d+ suffix is the
@@ -25,6 +26,9 @@ var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?
 func measure(s suite, iters int, verbose bool, root string) (map[string][]float64, error) {
 	if s.serveLatency {
 		return measureServeLatency(iters, verbose, root)
+	}
+	if s.lintSmoke {
+		return measureLint(iters, verbose, root)
 	}
 	out := make(map[string][]float64)
 	for _, r := range s.runs {
@@ -53,6 +57,50 @@ func measure(s suite, iters int, verbose bool, root string) (map[string][]float6
 			}
 			out[m[1]] = append(out[m[1]], ns)
 		}
+	}
+	return out, nil
+}
+
+// lintBudget is the hard wall-clock ceiling for one full-module sitlint
+// run. A standalone run type-checks every package and propagates facts
+// in dependency order; if that ever crosses a minute, the vettool has
+// become too expensive for the edit-lint loop and the suite fails
+// outright, baseline or not.
+const lintBudget = 60 * time.Second
+
+// measureLint builds the sitlint vettool into a scratch dir and times
+// iters full-module standalone analyses, reported as Lint_FullModule
+// wall nanoseconds. Build time is excluded: the smoke target is the
+// analysis cost developers and CI pay per run, not the one-off compile.
+func measureLint(iters int, verbose bool, root string) (map[string][]float64, error) {
+	dir, err := os.MkdirTemp("", "sitperf-lint")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "sitlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/sitlint")
+	build.Dir = root
+	if raw, err := build.CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("building sitlint: %v\n%s", err, raw)
+	}
+	out := make(map[string][]float64)
+	for i := 0; i < iters; i++ {
+		cmd := exec.Command(bin, "./...")
+		cmd.Dir = root
+		start := time.Now()
+		raw, err := cmd.CombinedOutput()
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("lint run %d: sitlint ./... : %v\n%s", i, err, raw)
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "sitperf: lint run %d: %s\n", i, elapsed)
+		}
+		if elapsed > lintBudget {
+			return nil, fmt.Errorf("lint run %d took %s, over the %s smoke budget", i, elapsed, lintBudget)
+		}
+		out["Lint_FullModule"] = append(out["Lint_FullModule"], float64(elapsed.Nanoseconds()))
 	}
 	return out, nil
 }

@@ -17,6 +17,9 @@
 // run to run by 20-40%, so only multiples beyond that band are flagged.
 // The serve suite compares chaos-harness latency percentiles, which
 // are noisier still; its threshold is scaled (see suite definitions).
+// The lint suite times a full-module sitlint run and additionally
+// enforces a hard 60s wall-clock smoke budget independent of the
+// baseline, so analyzer work can never silently make `go vet` painful.
 package main
 
 import (
@@ -48,6 +51,10 @@ type suite struct {
 	// serveLatency marks the chaos-harness suite, which measures via a
 	// test run writing CHAOS_BENCH_OUT instead of -bench output.
 	serveLatency bool
+	// lintSmoke marks the static-analysis suite: it builds the sitlint
+	// vettool and times a full-module standalone run, hard-failing past
+	// the wall-clock budget regardless of the baseline comparison.
+	lintSmoke bool
 }
 
 // benchRun is one `go test -bench` invocation.
@@ -91,13 +98,21 @@ var suites = []suite{
 			{pkg: ".", pattern: "Benchmark_CachePersistentRestart", benchtime: "2x"},
 		},
 	},
+	{
+		name:     "lint",
+		baseline: "BENCH_lint.json",
+		// Full-module analysis wall-clock rides on the go build cache and
+		// the VM's disk, both noisier than a tight bench loop.
+		thresholdScale: 2,
+		lintSmoke:      true,
+	},
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sitperf: ")
 	var (
-		suitesFlag = flag.String("suites", "incremental,parallel,serve,compact", "comma-separated suites to run")
+		suitesFlag = flag.String("suites", "incremental,parallel,serve,compact,lint", "comma-separated suites to run")
 		iters      = flag.Int("iters", 3, "benchmark repetitions per suite (go test -count); median/MAD computed across them")
 		threshold  = flag.Float64("threshold", 1.5, "regression bar: flag when measured median > baseline * threshold")
 		update     = flag.Bool("update", false, "rewrite the baseline files from this run's medians instead of comparing")
@@ -181,7 +196,7 @@ func selectSuites(names string) ([]suite, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("unknown suite %q (have incremental, parallel, serve, compact)", name)
+			return nil, fmt.Errorf("unknown suite %q (have incremental, parallel, serve, compact, lint)", name)
 		}
 	}
 	if len(out) == 0 {

@@ -116,7 +116,7 @@ func TestSelftestAgainstCommittedBaselines(t *testing.T) {
 	if err != nil {
 		t.Fatalf("sitperf -selftest: %v\n%s", err, out)
 	}
-	for _, want := range []string{"selftest incremental: ok", "selftest parallel: ok", "selftest serve: ok"} {
+	for _, want := range []string{"selftest incremental: ok", "selftest parallel: ok", "selftest serve: ok", "selftest lint: ok"} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("selftest output missing %q:\n%s", want, out)
 		}

@@ -81,7 +81,11 @@ func main() {
 		if cferr != nil {
 			log.Printf("cache file %s unavailable (%v); continuing without persistence", *cacheFil, cferr)
 		} else {
-			defer cf.Close()
+			defer func() {
+				if cerr := cf.Close(); cerr != nil {
+					log.Printf("cache file %s: close: %v (appends since the last sync may be lost)", *cacheFil, cerr)
+				}
+			}()
 			persist = cf
 		}
 	}

@@ -86,7 +86,11 @@ func main() {
 			// Persistence is an accelerator, never a gate: run memory-only.
 			log.Printf("cache file %s unavailable (%v); continuing without persistence", *cacheFil, cferr)
 		} else {
-			defer cf.Close()
+			defer func() {
+				if cerr := cf.Close(); cerr != nil {
+					log.Printf("cache file %s: close: %v (appends since the last sync may be lost)", *cacheFil, cerr)
+				}
+			}()
 			cfg.Persist = cf
 		}
 	}

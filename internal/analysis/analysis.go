@@ -3,12 +3,18 @@
 // check with a Run function, a Pass hands the Run function one
 // type-checked package, and diagnostics are reported through the Pass.
 //
-// The subset is deliberately tiny — no facts, no flags, no result
-// sharing between analyzers — because the five sitlint analyzers are
-// all single-package syntax+types checks. The API mirrors the x/tools
-// names (Analyzer, Pass, Diagnostic, Reportf) so that, should the real
-// module ever become available to this repo, the analyzers port by
-// changing one import path.
+// The subset mirrors the x/tools names (Analyzer, Pass, Diagnostic,
+// Reportf, Fact, ExportObjectFact/ImportObjectFact) so that, should the
+// real module ever become available to this repo, the analyzers port by
+// changing one import path. Since the v2 suite the subset includes
+// object facts: an analyzer can attach a serializable fact to a
+// package-level object while analyzing its defining package and read it
+// back when a later package references that object. Facts flow through
+// a Session — one per standalone run, or reconstructed from .vetx files
+// in vettool mode — and are keyed by (analyzer, package path, object
+// key) strings rather than object identity, so a fact exported while
+// type-checking a package from source is found again when the same
+// object is reached through compiled export data.
 //
 // # Suppression directives
 //
@@ -20,14 +26,20 @@
 // The directive names one or more comma-separated analyzers (or "all")
 // and should carry a short justification. Suppressions are part of the
 // reviewed source, which is the allow-list policy of the suite: every
-// exemption is visible in the diff that introduces it.
+// exemption is visible in the diff that introduces it. The Session
+// records which directives actually suppressed something, so the
+// driver's -audit mode can flag stale directives that no longer match
+// any diagnostic.
 package analysis
 
 import (
+	"encoding/gob"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"io"
+	"reflect"
 	"sort"
 	"strings"
 )
@@ -47,7 +59,19 @@ type Analyzer struct {
 	// through pass.Report. The returned error aborts the whole lint
 	// run and is reserved for analyzer bugs, not findings.
 	Run func(pass *Pass) error
+
+	// FactTypes lists prototype values (pointers to struct types
+	// implementing Fact) of every fact kind the analyzer exports or
+	// imports. Required for gob round-tripping in vettool mode; an
+	// ExportObjectFact of an unlisted type panics.
+	FactTypes []Fact
 }
+
+// Fact is a serializable observation an analyzer attaches to an object
+// in one package and consumes in downstream packages. Implementations
+// are pointers to gob-encodable structs; the AFact marker method keeps
+// arbitrary types out of the fact store.
+type Fact interface{ AFact() }
 
 // Pass is the interface between one Analyzer and one type-checked
 // package.
@@ -61,6 +85,9 @@ type Pass struct {
 	// Report delivers one diagnostic. Set by the driver; analyzers
 	// normally call Reportf instead.
 	Report func(Diagnostic)
+
+	session *Session
+	pkgPath string // scoping path (may differ from Pkg.Path() for test variants)
 }
 
 // Diagnostic is one finding.
@@ -85,6 +112,58 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.File(pos).Name(), "_test.go")
 }
 
+// ObjectKey is the session-stable name of a package-level object:
+// "Name" for functions, variables and types, "Recv.Name" for methods
+// (pointer receivers dereferenced). The key deliberately carries no
+// type identity so that the source-checked and export-data views of
+// the same object agree.
+func ObjectKey(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + fn.Name()
+			}
+		}
+	}
+	return obj.Name()
+}
+
+// ExportObjectFact attaches fact to obj for downstream packages. The
+// object must belong to some package (builtins are ignored) and the
+// fact's type must be listed in the analyzer's FactTypes.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	p.checkFactType(fact)
+	p.session.setFact(p.Analyzer.Name, obj.Pkg().Path(), ObjectKey(obj), fact)
+}
+
+// ImportObjectFact copies the fact of the receiver's analyzer attached
+// to obj into fact (a pointer to the matching struct type) and reports
+// whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	p.checkFactType(fact)
+	return p.session.getFact(p.Analyzer.Name, obj.Pkg().Path(), ObjectKey(obj), fact)
+}
+
+func (p *Pass) checkFactType(fact Fact) {
+	t := reflect.TypeOf(fact)
+	for _, proto := range p.Analyzer.FactTypes {
+		if reflect.TypeOf(proto) == t {
+			return
+		}
+	}
+	panic(fmt.Sprintf("%s: fact type %T not declared in FactTypes", p.Analyzer.Name, fact))
+}
+
 // Package is one loaded, type-checked package an analyzer can run on.
 // Both the sitlint driver and the analysistest fixture runner produce
 // this shape.
@@ -96,10 +175,181 @@ type Package struct {
 	TypesInfo *types.Info
 }
 
-// Run applies one analyzer to one package and returns its diagnostics
-// with suppression directives already applied, sorted by position.
+// factKey names one stored fact. Object facts are keyed by strings so
+// they survive the source-vs-export-data object identity split.
+type factKey struct {
+	analyzer string
+	pkg      string
+	object   string
+	typ      reflect.Type
+}
+
+// Session carries the cross-package state of one lint run: the fact
+// store and the suppression-directive usage record. A Session is not
+// safe for concurrent use; drivers analyze packages sequentially in
+// dependency order.
+type Session struct {
+	facts      map[factKey]Fact
+	directives map[string]*Directive // "file:line" -> record
+	supCache   map[*ast.File]bool    // files already scanned for directives
+}
+
+// NewSession returns an empty session.
+func NewSession() *Session {
+	return &Session{
+		facts:      map[factKey]Fact{},
+		directives: map[string]*Directive{},
+		supCache:   map[*ast.File]bool{},
+	}
+}
+
+func (s *Session) setFact(analyzer, pkg, object string, fact Fact) {
+	s.facts[factKey{analyzer, pkg, object, reflect.TypeOf(fact)}] = fact
+}
+
+func (s *Session) getFact(analyzer, pkg, object string, fact Fact) bool {
+	stored, ok := s.facts[factKey{analyzer, pkg, object, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// FactRecord is the serialized form of one stored fact (the .vetx
+// payload in vettool mode).
+type FactRecord struct {
+	Analyzer string
+	Pkg      string
+	Object   string
+	Fact     Fact
+}
+
+// Facts returns every stored fact in a deterministic order.
+func (s *Session) Facts() []FactRecord {
+	out := make([]FactRecord, 0, len(s.facts))
+	for k, f := range s.facts {
+		out = append(out, FactRecord{Analyzer: k.analyzer, Pkg: k.pkg, Object: k.object, Fact: f})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return fmt.Sprintf("%T", a.Fact) < fmt.Sprintf("%T", b.Fact)
+	})
+	return out
+}
+
+// AddFacts merges previously serialized facts into the session.
+func (s *Session) AddFacts(records []FactRecord) {
+	for _, r := range records {
+		if r.Fact == nil {
+			continue
+		}
+		s.setFact(r.Analyzer, r.Pkg, r.Object, r.Fact)
+	}
+}
+
+// EncodeFacts writes the session's facts as a gob stream. Fact types
+// must have been registered with RegisterFactTypes.
+func (s *Session) EncodeFacts(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(s.Facts())
+}
+
+// DecodeFacts merges a gob stream produced by EncodeFacts. An empty
+// stream (the facts file of a fact-free unit) is not an error.
+func (s *Session) DecodeFacts(r io.Reader) error {
+	var records []FactRecord
+	if err := gob.NewDecoder(r).Decode(&records); err != nil {
+		if err == io.EOF {
+			return nil
+		}
+		return err
+	}
+	s.AddFacts(records)
+	return nil
+}
+
+// RegisterFactTypes registers every fact type of the given analyzers
+// with encoding/gob so FactRecord's Fact interface field round-trips.
+func RegisterFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// Directive is one //sitlint:allow comment found during the run, with
+// the record of which analyzers it actually suppressed.
+type Directive struct {
+	File  string
+	Line  int
+	Names []string // analyzer names listed on the directive
+
+	hits map[string]int // analyzer name -> diagnostics suppressed
+}
+
+// Used reports whether the directive suppressed at least one
+// diagnostic of the named analyzer during the session ("all"
+// directives count hits under the concrete analyzer names).
+func (d *Directive) Used(name string) bool {
+	if name == "all" {
+		return len(d.hits) > 0
+	}
+	return d.hits[name] > 0
+}
+
+// Stale returns the directive's listed names that suppressed nothing.
+// Only meaningful after the full suite ran over the directive's
+// package; a partial run under-reports usage.
+func (d *Directive) Stale() []string {
+	var out []string
+	for _, n := range d.Names {
+		if !d.Used(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Directives returns every directive seen by the session, ordered by
+// (file, line).
+func (s *Session) Directives() []*Directive {
+	out := make([]*Directive, 0, len(s.directives))
+	for _, d := range s.directives {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// Run applies one analyzer to one package with a throwaway session and
+// returns its diagnostics with suppression directives already applied,
+// sorted by position. Fact-free analyzers behave exactly as before;
+// fact-carrying analyzers see only the facts of this single package.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
-	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	return RunSession(NewSession(), a, pkg)
+}
+
+// RunSession applies one analyzer to one package inside an ongoing
+// session: facts exported by earlier packages are visible, facts
+// exported here stay for later packages, and suppression hits
+// accumulate for the audit.
+func RunSession(s *Session, a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	sup := s.suppressionsFor(pkg)
 	var out []Diagnostic
 	pass := &Pass{
 		Analyzer:  a,
@@ -107,6 +357,8 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
+		session:   s,
+		pkgPath:   pkg.Path,
 	}
 	pass.Report = func(d Diagnostic) {
 		if d.Analyzer == "" {
@@ -124,13 +376,22 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	return out, nil
 }
 
-// RunAll applies every analyzer to every package, concatenating the
-// diagnostics in (package, analyzer) order.
+// RunAll applies every analyzer to every package under one shared
+// session, concatenating the diagnostics in (package, analyzer) order.
+// Packages must be in dependency order for facts to propagate; the
+// loader returns them that way.
 func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	return RunAllSession(NewSession(), analyzers, pkgs)
+}
+
+// RunAllSession is RunAll against a caller-owned session (so the
+// driver can pre-seed facts from .vetx files and harvest the
+// directive-usage record afterwards).
+func RunAllSession(s *Session, analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			ds, err := Run(a, pkg)
+			ds, err := RunSession(s, a, pkg)
 			if err != nil {
 				return nil, err
 			}
@@ -140,19 +401,20 @@ func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 	return out, nil
 }
 
-// suppressions maps file name -> line -> set of allowed analyzer names
-// ("all" allows every analyzer).
-type suppressions map[string]map[int]map[string]bool
+// suppressions maps file name -> line -> directives in force there.
+type suppressions map[string]map[int][]*Directive
 
 const directivePrefix = "//sitlint:allow"
 
-// collectSuppressions scans the files' comments for //sitlint:allow
-// directives. A directive suppresses the named analyzers on its own
-// line and on the following line (so it can sit above the flagged
-// statement or trail it).
-func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+// suppressionsFor scans the package's comments for //sitlint:allow
+// directives, reusing the session-wide directive records so usage
+// accumulates across the analyzers that visit the same package. A
+// directive suppresses the named analyzers on its own line and on the
+// following line (so it can sit above the flagged statement or trail
+// it).
+func (s *Session) suppressionsFor(pkg *Package) suppressions {
 	sup := suppressions{}
-	for _, f := range files {
+	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := c.Text
@@ -167,21 +429,20 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 				// not a comma-separated name; everything after is the
 				// justification.
 				names := strings.FieldsFunc(strings.Fields(rest)[0], func(r rune) bool { return r == ',' })
-				position := fset.Position(c.Pos())
+				position := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", position.Filename, position.Line)
+				d := s.directives[key]
+				if d == nil {
+					d = &Directive{File: position.Filename, Line: position.Line, Names: names, hits: map[string]int{}}
+					s.directives[key] = d
+				}
 				byLine := sup[position.Filename]
 				if byLine == nil {
-					byLine = map[int]map[string]bool{}
+					byLine = map[int][]*Directive{}
 					sup[position.Filename] = byLine
 				}
 				for _, line := range []int{position.Line, position.Line + 1} {
-					set := byLine[line]
-					if set == nil {
-						set = map[string]bool{}
-						byLine[line] = set
-					}
-					for _, n := range names {
-						set[n] = true
-					}
+					byLine[line] = append(byLine[line], d)
 				}
 			}
 		}
@@ -194,8 +455,15 @@ func (s suppressions) allows(fset *token.FileSet, pos token.Pos, analyzer string
 		return false
 	}
 	position := fset.Position(pos)
-	set := s[position.Filename][position.Line]
-	return set[analyzer] || set["all"]
+	for _, d := range s[position.Filename][position.Line] {
+		for _, n := range d.Names {
+			if n == analyzer || n == "all" {
+				d.hits[analyzer]++
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // IsContextType reports whether t is context.Context.
@@ -232,4 +500,16 @@ func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 		return fn
 	}
 	return nil
+}
+
+// FuncKey is the fact object key of a call's callee together with its
+// defining package path — the handle analyzers use to look up facts
+// for both in-package and imported functions. ok is false for
+// builtins, conversions and dynamic calls.
+func FuncKey(info *types.Info, call *ast.CallExpr) (pkgPath, key string, fn *types.Func, ok bool) {
+	fn = CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", "", nil, false
+	}
+	return fn.Pkg().Path(), ObjectKey(fn), fn, true
 }

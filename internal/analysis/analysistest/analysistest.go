@@ -72,13 +72,18 @@ func moduleRoot() (string, error) {
 }
 
 // Run checks the analyzer against each named fixture package under
-// testdata/src relative to the test's working directory.
+// testdata/src relative to the test's working directory. The fixtures
+// share one analysis session and are checked in the order given, so a
+// later fixture may import an earlier one (the import path is the
+// fixture directory name) and observe the facts exported while it was
+// analyzed — the fixture leg of cross-package fact propagation.
 func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
 	t.Helper()
 	r, err := sharedResolver()
 	if err != nil {
 		t.Fatal(err)
 	}
+	session := analysis.NewSession()
 	for _, name := range fixtures {
 		dir := filepath.Join("testdata", "src", name)
 		entries, err := os.ReadDir(dir)
@@ -98,7 +103,7 @@ func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		diags, err := analysis.Run(a, pkg)
+		diags, err := analysis.RunSession(session, a, pkg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -1,0 +1,14 @@
+package detmerge_test
+
+import (
+	"testing"
+
+	"sitam/internal/analysis/analysistest"
+	"sitam/internal/analysis/detmerge"
+)
+
+func TestFixtures(t *testing.T) {
+	// Roots stay untouched: the fixtures exercise the
+	// //sitlint:detmerge-root marker instead.
+	analysistest.Run(t, detmerge.Analyzer, "detmerge_a", "detmerge_b")
+}

@@ -1,0 +1,19 @@
+package fsyncack_test
+
+import (
+	"testing"
+
+	"sitam/internal/analysis/analysistest"
+	"sitam/internal/analysis/fsyncack"
+)
+
+func TestFixtures(t *testing.T) {
+	oldScope, oldFields, oldWriters := fsyncack.Scope, fsyncack.JournalFields, fsyncack.ChecksumWriters
+	fsyncack.Scope = map[string]bool{"fsyncack_a": true}
+	fsyncack.JournalFields = map[string]bool{"fsyncack_a.WAL.F": true}
+	fsyncack.ChecksumWriters = map[string]bool{"fsyncack_a.Frame": true}
+	defer func() {
+		fsyncack.Scope, fsyncack.JournalFields, fsyncack.ChecksumWriters = oldScope, oldFields, oldWriters
+	}()
+	analysistest.Run(t, fsyncack.Analyzer, "fsyncack_a", "fsyncack_b")
+}

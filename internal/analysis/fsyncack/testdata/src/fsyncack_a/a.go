@@ -1,0 +1,43 @@
+package fsyncack_a
+
+import "os"
+
+type WAL struct {
+	F *os.File
+}
+
+// Frame is the fixture's checksummed record encoder.
+func Frame(b []byte) []byte { return b }
+
+func (w *WAL) AppendGood(b []byte) error {
+	if _, err := w.F.Write(b); err != nil {
+		return err
+	}
+	return w.F.Sync()
+}
+
+func (w *WAL) AppendChecksummed(b []byte) error {
+	_, err := w.F.Write(Frame(b))
+	return err
+}
+
+func (w *WAL) AppendViaIdent(b []byte) error {
+	rec := Frame(b)
+	_, err := w.F.Write(rec)
+	return err
+}
+
+func (w *WAL) AppendBad(b []byte) error {
+	_, err := w.F.Write(b) // want `no fsync`
+	return err
+}
+
+func (w *WAL) Flush() error { return w.F.Sync() }
+
+func Smuggle(w *WAL, b []byte) {
+	w.F.Write(b) // want `outside its owner's methods`
+}
+
+func discardInPackage(w *WAL, b []byte) {
+	w.AppendGood(b) // want `discards the error`
+}

@@ -1,0 +1,15 @@
+package gorojoin_test
+
+import (
+	"testing"
+
+	"sitam/internal/analysis/analysistest"
+	"sitam/internal/analysis/gorojoin"
+)
+
+func TestFixtures(t *testing.T) {
+	oldScope := gorojoin.Scope
+	gorojoin.Scope = map[string]bool{"gorojoin_b": true}
+	defer func() { gorojoin.Scope = oldScope }()
+	analysistest.Run(t, gorojoin.Analyzer, "gorojoin_a", "gorojoin_b")
+}

@@ -1,0 +1,12 @@
+package gorojoin_a
+
+import "sync"
+
+// Worker signals completion through the WaitGroup, so spawners that
+// Wait on it get the SignalsDone fact credit.
+func Worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+// Silent never signals completion.
+func Silent() {}

@@ -1,0 +1,85 @@
+package gorojoin_b
+
+import (
+	"sync"
+
+	"gorojoin_a"
+)
+
+type Pool struct {
+	wg    sync.WaitGroup
+	queue chan int
+}
+
+// Start's worker Done()s the struct-field WaitGroup; the Wait lives in
+// Drain — the cross-method scheduler-pool idiom.
+func (p *Pool) Start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for range p.queue {
+		}
+	}()
+}
+
+func (p *Pool) Drain() {
+	close(p.queue)
+	p.wg.Wait()
+}
+
+func goodLocal() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func goodClose() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+func goodSend() {
+	errs := make(chan error, 1)
+	go func() {
+		errs <- nil
+	}()
+	<-errs
+}
+
+func goodFact(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go gorojoin_a.Worker(wg)
+	wg.Wait()
+}
+
+func badDetached() {
+	go func() {}() // want `no provable join`
+}
+
+func badNoWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `no provable join`
+		defer wg.Done()
+	}()
+}
+
+func badFactNoWait(wg *sync.WaitGroup) {
+	go gorojoin_a.Worker(wg) // want `no provable join`
+}
+
+func badSilent(done chan struct{}) {
+	go gorojoin_a.Silent() // want `no provable join`
+	<-done
+}
+
+func allowedDetached() {
+	//sitlint:allow gorojoin — fixture: fire-and-forget by design
+	go func() {}()
+}

@@ -9,12 +9,17 @@
 // Two entry points:
 //
 //   - Load resolves package patterns (./..., specific import paths)
-//     and returns the matched packages fully type-checked — the
-//     standalone `sitlint ./...` driver.
+//     and returns the matched packages fully type-checked, in
+//     dependency order — a package always precedes the packages that
+//     import it, so a fact-propagating session can analyze the slice
+//     front to back and every imported fact already exists.
 //
 //   - NewResolver + CheckFiles type-check an ad-hoc file set (the
 //     analysistest fixtures under testdata/src, which `go list` cannot
-//     see) against the same dependency universe.
+//     see) against the same dependency universe. Checked packages are
+//     registered with the resolver, so a later CheckFiles may import
+//     an earlier one by its package path — the fixture leg of
+//     cross-package fact tests.
 package load
 
 import (
@@ -40,6 +45,7 @@ type listPackage struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	ImportMap  map[string]string
 	DepOnly    bool
 	Standard   bool
@@ -54,6 +60,7 @@ type Resolver struct {
 	Fset    *token.FileSet
 	exports map[string]string // canonical import path -> export data file
 	imports map[string]string // source import path -> canonical path
+	source  map[string]*types.Package
 	targets []*listPackage
 	imp     types.Importer
 }
@@ -65,7 +72,7 @@ type Resolver struct {
 func NewResolver(dir string, patterns ...string) (*Resolver, error) {
 	args := append([]string{
 		"list", "-export", "-deps",
-		"-json=ImportPath,Dir,Export,GoFiles,ImportMap,DepOnly,Standard,Incomplete,Error",
+		"-json=ImportPath,Dir,Export,GoFiles,Imports,ImportMap,DepOnly,Standard,Incomplete,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -78,6 +85,7 @@ func NewResolver(dir string, patterns ...string) (*Resolver, error) {
 		Fset:    token.NewFileSet(),
 		exports: map[string]string{},
 		imports: map[string]string{},
+		source:  map[string]*types.Package{},
 	}
 	dec := json.NewDecoder(&stdout)
 	for {
@@ -101,8 +109,51 @@ func NewResolver(dir string, patterns ...string) (*Resolver, error) {
 			r.targets = append(r.targets, &pkg)
 		}
 	}
-	r.imp = importer.ForCompiler(r.Fset, "gc", r.lookup)
+	r.sortTargets()
+	gc := importer.ForCompiler(r.Fset, "gc", r.lookup)
+	r.imp = &resolverImporter{r: r, gc: gc}
 	return r, nil
+}
+
+// sortTargets orders the target packages topologically: a target
+// always precedes targets that import it. `go list -deps` already
+// emits dependencies first, but the order is re-derived here so the
+// fact-propagation contract does not rest on an unspecified detail of
+// the go command's output.
+func (r *Resolver) sortTargets() {
+	byPath := make(map[string]*listPackage, len(r.targets))
+	for _, t := range r.targets {
+		byPath[t.ImportPath] = t
+	}
+	var (
+		sorted  []*listPackage
+		state   = map[string]int{} // 0 unvisited, 1 visiting, 2 done
+		visit   func(t *listPackage)
+		visited = 0
+	)
+	visit = func(t *listPackage) {
+		if state[t.ImportPath] != 0 {
+			return // done, or a cycle — go list would have failed on a real cycle
+		}
+		state[t.ImportPath] = 1
+		for _, imp := range t.Imports {
+			if canonical, ok := r.imports[imp]; ok {
+				imp = canonical
+			}
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[t.ImportPath] = 2
+		sorted = append(sorted, t)
+		visited++
+	}
+	for _, t := range r.targets {
+		visit(t)
+	}
+	if visited == len(r.targets) {
+		r.targets = sorted
+	}
 }
 
 // lookup feeds dependency export data to the gc importer.
@@ -117,10 +168,35 @@ func (r *Resolver) lookup(path string) (io.ReadCloser, error) {
 	return os.Open(file)
 }
 
+// resolverImporter resolves imports through compiled export data,
+// falling back to packages the resolver has itself type-checked from
+// source. The fallback is consulted only for paths with no export data
+// (fixture packages), never for module or stdlib packages — mixing a
+// source-checked package into a universe that also references its
+// export-data twin would split type identities.
+type resolverImporter struct {
+	r  *Resolver
+	gc types.Importer
+}
+
+func (i *resolverImporter) Import(path string) (*types.Package, error) {
+	canonical := path
+	if c, ok := i.r.imports[path]; ok {
+		canonical = c
+	}
+	if _, hasExport := i.r.exports[canonical]; !hasExport {
+		if p := i.r.source[canonical]; p != nil {
+			return p, nil
+		}
+	}
+	return i.gc.Import(path)
+}
+
 // CheckFiles parses and type-checks the given files as one package
 // with the given import path. Imports resolve through the resolver's
 // export universe, so the files may import anything the module (or the
-// resolver's extra patterns) reaches.
+// resolver's extra patterns) reaches — plus any package previously
+// checked through this resolver (fixture cross-imports).
 func (r *Resolver) CheckFiles(pkgPath string, filenames ...string) (*analysis.Package, error) {
 	files := make([]*ast.File, len(filenames))
 	for i, name := range filenames {
@@ -143,6 +219,9 @@ func (r *Resolver) CheckFiles(pkgPath string, filenames ...string) (*analysis.Pa
 	if err != nil {
 		return nil, fmt.Errorf("load: type-checking %s: %w", pkgPath, err)
 	}
+	if _, hasExport := r.exports[pkgPath]; !hasExport {
+		r.source[pkgPath] = tpkg
+	}
 	return &analysis.Package{
 		Path:      pkgPath,
 		Fset:      r.Fset,
@@ -153,8 +232,9 @@ func (r *Resolver) CheckFiles(pkgPath string, filenames ...string) (*analysis.Pa
 }
 
 // Load type-checks every package matched by the patterns (dependencies
-// come from export data and are not re-checked). dir is the working
-// directory for pattern resolution — normally the module root.
+// come from export data and are not re-checked) and returns them in
+// dependency order. dir is the working directory for pattern
+// resolution — normally the module root.
 func Load(dir string, patterns ...string) ([]*analysis.Package, error) {
 	r, err := NewResolver(dir, patterns...)
 	if err != nil {

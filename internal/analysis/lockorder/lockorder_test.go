@@ -1,0 +1,20 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"sitam/internal/analysis/analysistest"
+	"sitam/internal/analysis/lockorder"
+)
+
+func TestFixtures(t *testing.T) {
+	oldScope, oldOrder := lockorder.Scope, lockorder.Order
+	lockorder.Scope = map[string]bool{"lockorder_a": true, "lockorder_b": true}
+	lockorder.Order = []string{
+		"lockorder_a.Outer.Mu",
+		"lockorder_a.Inner.Mu",
+		"lockorder_b.Guard.Mu",
+	}
+	defer func() { lockorder.Scope, lockorder.Order = oldScope, oldOrder }()
+	analysistest.Run(t, lockorder.Analyzer, "lockorder_a", "lockorder_b")
+}

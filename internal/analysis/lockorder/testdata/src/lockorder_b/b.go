@@ -1,0 +1,21 @@
+package lockorder_b
+
+import (
+	"sync"
+
+	"lockorder_a"
+)
+
+type Guard struct {
+	Mu sync.Mutex
+}
+
+func goodCross(o *lockorder_a.Outer) {
+	lockorder_a.LockInner(o)
+}
+
+func badCross(g *Guard, o *lockorder_a.Outer) {
+	g.Mu.Lock()
+	defer g.Mu.Unlock()
+	lockorder_a.LockInner(o) // want `lock-order inversion`
+}

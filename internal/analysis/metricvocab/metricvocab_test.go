@@ -1,0 +1,15 @@
+package metricvocab_test
+
+import (
+	"testing"
+
+	"sitam/internal/analysis/analysistest"
+	"sitam/internal/analysis/metricvocab"
+)
+
+func TestFixtures(t *testing.T) {
+	oldScope := metricvocab.Scope
+	metricvocab.Scope = map[string]bool{"metricvocab_a": true, "metricvocab_b": true}
+	defer func() { metricvocab.Scope = oldScope }()
+	analysistest.Run(t, metricvocab.Analyzer, "metricvocab_a", "metricvocab_b")
+}

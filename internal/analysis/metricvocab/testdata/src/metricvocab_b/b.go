@@ -1,0 +1,16 @@
+package metricvocab_b
+
+import (
+	"metricvocab_a"
+
+	"sitam/internal/obs"
+)
+
+// The VocabFunc fact on Pick crosses the package boundary.
+func goodCross(r *obs.Registry) {
+	r.Counter(metricvocab_a.Pick(false)).Inc()
+}
+
+func badCross(r *obs.Registry, s string) {
+	r.Counter(metricvocab_a.Leak(s)).Inc() // want `not a compile-time member`
+}

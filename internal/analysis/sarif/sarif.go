@@ -1,0 +1,129 @@
+// Package sarif emits the subset of SARIF 2.1.0 (OASIS Static
+// Analysis Results Interchange Format) that sitlint's findings need:
+// one run, one tool.driver with a rule per analyzer, and one result
+// per diagnostic with a physical location. The output is consumed by
+// code-scanning UIs and archived by CI, so the field names and the
+// version/schema pair follow the spec exactly.
+package sarif
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Version is the SARIF spec version emitted.
+const Version = "2.1.0"
+
+// SchemaURI is the canonical 2.1.0 schema.
+const SchemaURI = "https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/sarif-schema-2.1.0.json"
+
+// RootBaseID is the uriBaseId all artifact locations are relative to.
+const RootBaseID = "ROOT"
+
+// Log is the top-level SARIF object.
+type Log struct {
+	Version string `json:"version"`
+	Schema  string `json:"$schema"`
+	Runs    []*Run `json:"runs"`
+}
+
+// Run is one invocation of one tool.
+type Run struct {
+	Tool               Tool                        `json:"tool"`
+	Results            []Result                    `json:"results"`
+	OriginalURIBaseIDs map[string]ArtifactLocation `json:"originalUriBaseIds,omitempty"`
+}
+
+// Tool wraps the driver description.
+type Tool struct {
+	Driver Driver `json:"driver"`
+}
+
+// Driver describes the analysis tool and its rules.
+type Driver struct {
+	Name           string `json:"name"`
+	InformationURI string `json:"informationUri,omitempty"`
+	Rules          []Rule `json:"rules"`
+}
+
+// Rule is one analyzer.
+type Rule struct {
+	ID               string  `json:"id"`
+	ShortDescription Message `json:"shortDescription"`
+}
+
+// Message carries human-readable text.
+type Message struct {
+	Text string `json:"text"`
+}
+
+// Result is one diagnostic.
+type Result struct {
+	RuleID    string     `json:"ruleId"`
+	Level     string     `json:"level"`
+	Message   Message    `json:"message"`
+	Locations []Location `json:"locations"`
+}
+
+// Location wraps a physical location.
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+}
+
+// PhysicalLocation is a file region.
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           Region           `json:"region"`
+}
+
+// ArtifactLocation names a file, relative to a uriBaseId when set.
+type ArtifactLocation struct {
+	URI       string `json:"uri,omitempty"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+// Region is a start position (1-based, per spec).
+type Region struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// NewLog builds a single-run log for the named tool. rootURI is the
+// absolute file:// URI (with trailing slash) that relative result URIs
+// resolve against via the ROOT uriBaseId.
+func NewLog(toolName, infoURI, rootURI string, rules []Rule) *Log {
+	run := &Run{
+		Tool:    Tool{Driver: Driver{Name: toolName, InformationURI: infoURI, Rules: rules}},
+		Results: []Result{}, // []: SARIF requires the property even when empty
+	}
+	if rootURI != "" {
+		run.OriginalURIBaseIDs = map[string]ArtifactLocation{
+			RootBaseID: {URI: rootURI},
+		}
+	}
+	return &Log{Version: Version, Schema: SchemaURI, Runs: []*Run{run}}
+}
+
+// AddResult appends one finding. uri is the forward-slashed path
+// relative to the ROOT base.
+func (l *Log) AddResult(ruleID, message, uri string, line, col int) {
+	run := l.Runs[0]
+	run.Results = append(run.Results, Result{
+		RuleID:  ruleID,
+		Level:   "error",
+		Message: Message{Text: message},
+		Locations: []Location{{
+			PhysicalLocation: PhysicalLocation{
+				ArtifactLocation: ArtifactLocation{URI: uri, URIBaseID: RootBaseID},
+				Region:           Region{StartLine: line, StartColumn: col},
+			},
+		}},
+	})
+}
+
+// Write marshals the log with indentation.
+func (l *Log) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
+}

@@ -1,0 +1,81 @@
+package sarif_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"sitam/internal/analysis/sarif"
+)
+
+// TestShape validates the emitted JSON against the SARIF 2.1.0
+// structural requirements sitlint relies on: version/$schema at the
+// top, runs[].tool.driver.rules, results with ruleId, message.text and
+// a physicalLocation whose artifactLocation is ROOT-relative.
+func TestShape(t *testing.T) {
+	log := sarif.NewLog("sitlint", "https://example.invalid/sitlint", "file:///repo/", []sarif.Rule{
+		{ID: "lockorder", ShortDescription: sarif.Message{Text: "lock ordering"}},
+	})
+	log.AddResult("lockorder", "inversion: a while holding b", "internal/serve/scheduler.go", 42, 7)
+
+	var buf bytes.Buffer
+	if err := log.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var root map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &root); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+	if v := root["version"]; v != "2.1.0" {
+		t.Fatalf("version = %v, want 2.1.0", v)
+	}
+	if s, _ := root["$schema"].(string); s == "" {
+		t.Fatal("$schema missing")
+	}
+	runs, ok := root["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v, want one run", root["runs"])
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "sitlint" {
+		t.Fatalf("driver.name = %v", driver["name"])
+	}
+	rules := driver["rules"].([]any)
+	if len(rules) != 1 || rules[0].(map[string]any)["id"] != "lockorder" {
+		t.Fatalf("rules = %v", rules)
+	}
+	results := run["results"].([]any)
+	if len(results) != 1 {
+		t.Fatalf("results = %v", results)
+	}
+	res := results[0].(map[string]any)
+	if res["ruleId"] != "lockorder" || res["level"] != "error" {
+		t.Fatalf("result = %v", res)
+	}
+	if txt := res["message"].(map[string]any)["text"]; txt != "inversion: a while holding b" {
+		t.Fatalf("message.text = %v", txt)
+	}
+	loc := res["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+	art := loc["artifactLocation"].(map[string]any)
+	if art["uri"] != "internal/serve/scheduler.go" || art["uriBaseId"] != "ROOT" {
+		t.Fatalf("artifactLocation = %v", art)
+	}
+	region := loc["region"].(map[string]any)
+	if region["startLine"] != float64(42) || region["startColumn"] != float64(7) {
+		t.Fatalf("region = %v", region)
+	}
+	if _, ok := run["originalUriBaseIds"].(map[string]any)["ROOT"]; !ok {
+		t.Fatal("originalUriBaseIds.ROOT missing")
+	}
+
+	// An empty log still carries the required results array.
+	empty := sarif.NewLog("sitlint", "", "", nil)
+	buf.Reset()
+	if err := empty.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"results": []`)) {
+		t.Fatalf("empty log must serialize results as []:\n%s", buf.String())
+	}
+}

@@ -5,18 +5,31 @@ package suite
 import (
 	"sitam/internal/analysis"
 	"sitam/internal/analysis/ctxflow"
+	"sitam/internal/analysis/detmerge"
 	"sitam/internal/analysis/detrand"
 	"sitam/internal/analysis/errwrapcheck"
+	"sitam/internal/analysis/fsyncack"
+	"sitam/internal/analysis/gorojoin"
+	"sitam/internal/analysis/lockorder"
+	"sitam/internal/analysis/metricvocab"
 	"sitam/internal/analysis/railmutate"
 	"sitam/internal/analysis/traceevent"
 )
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order. The fact-based
+// analyzers (detmerge, fsyncack, gorojoin, lockorder, metricvocab)
+// propagate object facts across packages, so a session must analyze
+// packages in dependency order (load.Load returns them that way).
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxflow.Analyzer,
+		detmerge.Analyzer,
 		detrand.Analyzer,
 		errwrapcheck.Analyzer,
+		fsyncack.Analyzer,
+		gorojoin.Analyzer,
+		lockorder.Analyzer,
+		metricvocab.Analyzer,
 		railmutate.Analyzer,
 		traceevent.Analyzer,
 	}

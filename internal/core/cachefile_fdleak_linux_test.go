@@ -1,0 +1,74 @@
+//go:build linux
+
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// openFDs counts the process's open file descriptors via /proc.
+func openFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(ents)
+}
+
+// TestOpenCacheFileFailureLeaksNoFDs hammers both OpenCacheFile error
+// paths — the flock conflict and the foreign-file rejection — and
+// requires the process fd table to end exactly where it started: every
+// failed open must close its fd (and, on the load-failure path,
+// release the flock first, which the successful re-open at the end
+// proves).
+func TestOpenCacheFileFailureLeaksNoFDs(t *testing.T) {
+	dir := t.TempDir()
+
+	oldRetries, oldBackoff := cacheLockRetries, cacheLockBackoff
+	cacheLockRetries, cacheLockBackoff = 0, 0
+	defer func() { cacheLockRetries, cacheLockBackoff = oldRetries, oldBackoff }()
+
+	// Path 1: the file is held by another open file description, so
+	// lockCacheFile fails after its retries.
+	locked := filepath.Join(dir, "locked.sitcache")
+	holder, err := OpenCacheFile(locked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Close()
+
+	// Path 2: a foreign file load() refuses to clobber.
+	foreign := filepath.Join(dir, "foreign.bin")
+	if err := os.WriteFile(foreign, []byte("definitely not a sitam cache file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	before := openFDs(t)
+	for i := 0; i < 100; i++ {
+		if _, err := OpenCacheFile(locked); err != ErrCacheLocked {
+			t.Fatalf("iteration %d: OpenCacheFile(locked) = %v, want ErrCacheLocked", i, err)
+		}
+		if _, err := OpenCacheFile(foreign); err == nil {
+			t.Fatalf("iteration %d: OpenCacheFile(foreign) succeeded on a non-cache file", i)
+		}
+	}
+	if after := openFDs(t); after != before {
+		t.Fatalf("fd count drifted across 200 failed opens: %d -> %d (leaked %d fds)", before, after, after-before)
+	}
+
+	// The foreign-file failures released their flocks: the file locks
+	// cleanly once its contents are legitimate.
+	if err := os.Remove(foreign); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := OpenCacheFile(foreign)
+	if err != nil {
+		t.Fatalf("OpenCacheFile after failure storm: %v", err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,8 +14,11 @@ import (
 // copy.
 
 // cacheLockRetries × cacheLockBackoff bounds how long a second opener
-// waits before degrading to memory-only with ErrCacheLocked.
-const (
+// waits before degrading to memory-only with ErrCacheLocked. Vars, not
+// consts, so the fd-leak regression test can drop the backoff and
+// hammer the failure path without waiting out the retry window; the
+// defaults are unchanged.
+var (
 	cacheLockRetries = 5
 	cacheLockBackoff = 20 * time.Millisecond
 )

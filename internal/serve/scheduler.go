@@ -361,6 +361,24 @@ func (s *Scheduler) execute(job *Job) {
 // sitam_job_phase_ms{phase="..."} on /metrics.
 var phaseBucketsMs = []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
 
+// stateCounterKey maps a terminal state to its per-state counter
+// series. The closed switch keeps every series this function can emit
+// inside the DESIGN §13 vocabulary (enforced by the metricvocab
+// analyzer) — a new State constant cannot leak a new series onto
+// /metrics without being added here and to the vocabulary.
+func stateCounterKey(state State) string {
+	switch state {
+	case StateDone:
+		return "serve_done"
+	case StatePartial:
+		return "serve_partial"
+	case StateCanceled:
+		return "serve_canceled"
+	default:
+		return "serve_failed"
+	}
+}
+
 // finalizeJob applies a terminal transition once, journals it durably,
 // records the trace in the flight recorder and accounts for it.
 func (s *Scheduler) finalizeJob(job *Job, state State, outcome *Outcome, errMsg string) {
@@ -370,7 +388,7 @@ func (s *Scheduler) finalizeJob(job *Job, state State, outcome *Outcome, errMsg 
 	job.release()
 	events := job.Trace.Events()
 	s.recorder.Record(job.ID, events)
-	s.cfg.Metrics.Counter("serve_" + string(state)).Inc()
+	s.cfg.Metrics.Counter(stateCounterKey(state)).Inc()
 	s.cfg.Metrics.Counter(obs.Labels("sitam_jobs_total", "state", string(state))).Inc()
 	for i := range events {
 		if ev := &events[i]; ev.Type == obs.PhaseEnd {
